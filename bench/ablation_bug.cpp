@@ -1,0 +1,69 @@
+// Ablation: the two CASTED design choices DESIGN.md calls out on top of
+// plain Algorithm 2 — (a) the anticipated-communication penalty and (b) the
+// per-block placement fallback.  Shows the mean CASTED slowdown across the
+// full configuration grid for each combination, plus how often CASTED loses
+// to the best fixed scheme (the paper's headline property).
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader(
+      "ablation_bug — BUG anticipation & placement fallback",
+      "design-choice ablation for §III-D (Algorithm 2)");
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const std::vector<workloads::Workload> suite = {
+      workloads::makeH263dec(scale), workloads::makeH263enc(scale),
+      workloads::makeMcf(scale)};
+
+  TextTable table({"anticipation", "fallback", "mean slowdown",
+                   "max slowdown", "losses vs best fixed"});
+  for (std::uint32_t anticipation : {0u, 50u, 100u}) {
+    for (bool fallback : {false, true}) {
+      std::vector<double> slowdowns;
+      int losses = 0;
+      for (const workloads::Workload& wl : suite) {
+        for (std::uint32_t iw : {1u, 2u, 4u}) {
+          for (std::uint32_t delay : {1u, 2u, 4u}) {
+            arch::MachineConfig machine = arch::makePaperMachine(iw, delay);
+            const double noed = static_cast<double>(benchutil::runCycles(
+                wl.program, machine, passes::Scheme::kNoed));
+            const double sced =
+                static_cast<double>(benchutil::runCycles(
+                    wl.program, machine, passes::Scheme::kSced)) /
+                noed;
+            const double dced =
+                static_cast<double>(benchutil::runCycles(
+                    wl.program, machine, passes::Scheme::kDced)) /
+                noed;
+            machine.bugAnticipationPercent = anticipation;
+            machine.bugPlacementFallback = fallback;
+            const double casted =
+                static_cast<double>(benchutil::runCycles(
+                    wl.program, machine, passes::Scheme::kCasted)) /
+                noed;
+            slowdowns.push_back(casted);
+            if (casted > 1.02 * std::min(sced, dced)) {
+              ++losses;
+            }
+          }
+        }
+      }
+      const SampleSummary s = summarize(slowdowns);
+      table.addRow({std::to_string(anticipation) + "%",
+                    fallback ? "on" : "off", formatFixed(s.mean, 3),
+                    formatFixed(s.max, 2),
+                    std::to_string(losses) + "/" +
+                        std::to_string(slowdowns.size())});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: plain greedy BUG (0%%, off) over-spreads on high-delay\n"
+      "machines and loses to SCED; anticipation prices the return trip and\n"
+      "the fallback guarantees 'CASTED at least matches the best fixed\n"
+      "scheme' (§IV-B6) by construction.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: the coverage/performance trade-off of reduced checking.
+// Related work (Shoestring, compiler-assisted ED — paper Table III) cuts
+// overhead by checking fewer instructions; Algorithm 1 checks every
+// non-replicated instruction.  This bench removes check classes one at a
+// time and shows what each buys in cycles and costs in silent corruption.
+#include "bench_util.h"
+#include "fault/campaign.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader(
+      "ablation_coverage_tradeoff — what each check class buys",
+      "context for Table III (full checking vs partial redundancy)");
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const std::uint32_t trials = benchutil::envU32("CASTED_TRIALS", 200);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+  const workloads::Workload wl = workloads::makeH263dec(scale);
+
+  struct Mode {
+    const char* name;
+    bool checkStores;
+    bool checkControlFlow;
+  };
+  const Mode modes[] = {
+      {"full (Algorithm 1)", true, true},
+      {"stores only (SWIFT-like)", true, false},
+      {"control flow only", false, true},
+      {"duplication only, no checks", false, false},
+  };
+
+  core::PipelineOptions base;
+  base.verifyAfterPasses = false;
+  const core::CompiledProgram noed =
+      core::compile(wl.program, machine, passes::Scheme::kNoed, base);
+  const sim::RunResult noedRun = core::run(noed);
+
+  TextTable table({"checking", "checks", "slowdown", "detected",
+                   "exception", "data-corrupt"});
+  for (const Mode& mode : modes) {
+    core::PipelineOptions options = base;
+    options.errorDetection.checkStores = mode.checkStores;
+    options.errorDetection.checkControlFlow = mode.checkControlFlow;
+    const core::CompiledProgram bin = core::compile(
+        wl.program, machine, passes::Scheme::kCasted, options);
+    const sim::RunResult run = core::run(bin);
+
+    fault::CampaignOptions campaignOptions;
+    campaignOptions.trials = trials;
+    campaignOptions.originalDefInsns = noedRun.stats.dynamicDefInsns;
+    const fault::CoverageReport report =
+        core::campaign(bin, campaignOptions);
+
+    table.addRow(
+        {mode.name, std::to_string(bin.errorDetectionStats.checks),
+         formatFixed(static_cast<double>(run.stats.cycles) /
+                         static_cast<double>(noedRun.stats.cycles),
+                     2),
+         formatPercent(report.fraction(fault::Outcome::kDetected)),
+         formatPercent(report.fraction(fault::Outcome::kException)),
+         formatPercent(report.fraction(fault::Outcome::kDataCorrupt))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: store checks are the last line of defence — dropping\n"
+      "them converts detections into silent corruption; dropping branch\n"
+      "checks converts a smaller share (wrong-direction branches usually\n"
+      "still corrupt a store operand later, or trap).  CASTED keeps full\n"
+      "checking and wins the overhead back through placement instead.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: per-cluster memory-port limits.  The paper's machine issues any
+// mix into its slots; real VLIWs often restrict memory ports.  A single
+// memory port per cluster penalises SCED (all loads and their duplicates
+// fight for one port) more than the dual-cluster placements, and is a case
+// where spreading memory ops buys MLP (§III-D).
+#include "bench_util.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader("ablation_ports — memory ports per cluster",
+                         "design-choice ablation (issue slots vs ports)");
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const workloads::Workload wl = workloads::makeMpeg2dec(scale);
+
+  TextTable table({"mem ports", "issue", "SCED", "DCED", "CASTED"});
+  for (std::uint32_t ports : {0u, 2u, 1u}) {
+    for (std::uint32_t iw : {2u, 4u}) {
+      arch::MachineConfig machine = arch::makePaperMachine(iw, 1);
+      machine.memPortsPerCluster = ports;
+      const double noed = static_cast<double>(benchutil::runCycles(
+          wl.program, machine, passes::Scheme::kNoed));
+      auto slowdown = [&](passes::Scheme scheme) {
+        return static_cast<double>(
+                   benchutil::runCycles(wl.program, machine, scheme)) /
+               noed;
+      };
+      table.addRow({ports == 0 ? "unlimited" : std::to_string(ports),
+                    std::to_string(iw),
+                    formatFixed(slowdown(passes::Scheme::kSced), 2),
+                    formatFixed(slowdown(passes::Scheme::kDced), 2),
+                    formatFixed(slowdown(passes::Scheme::kCasted), 2)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nReading: tightening the memory ports raises SCED's\n"
+              "slowdown (duplicated loads serialise on one port) while the\n"
+              "spread placements keep using both clusters' ports.\n");
+  return 0;
+}

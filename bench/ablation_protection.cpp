@@ -1,0 +1,63 @@
+// Ablation: why the paper disables late CSE/DCE after the CASTED passes
+// (§IV-A).  With protection off, local CSE folds one redundancy stream into
+// the other (a duplicate is a textbook common subexpression of its
+// original), coupling the two streams and gutting the fault coverage.
+#include "bench_util.h"
+#include "fault/campaign.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader(
+      "ablation_protection — late CSE/DCE vs the replicated code",
+      "methodology point of §IV-A (late optimisations disabled)");
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const std::uint32_t trials = benchutil::envU32("CASTED_TRIALS", 300);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+  const workloads::Workload wl = workloads::makeParser(scale);
+
+  TextTable table({"late opts", "CSE folds", "insns", "NOED-rel cycles",
+                   "detected", "data-corrupt"});
+  for (int mode = 0; mode < 3; ++mode) {
+    core::PipelineOptions options;
+    options.verifyAfterPasses = false;
+    options.runLateOptimisations = mode != 0;
+    options.lateOpts.protectRedundant = mode != 2;
+
+    const core::CompiledProgram noed = core::compile(
+        wl.program, machine, passes::Scheme::kNoed, options);
+    const sim::RunResult noedRun = core::run(noed);
+
+    const core::CompiledProgram bin = core::compile(
+        wl.program, machine, passes::Scheme::kCasted, options);
+    const sim::RunResult run = core::run(bin);
+
+    fault::CampaignOptions campaignOptions;
+    campaignOptions.trials = trials;
+    campaignOptions.originalDefInsns = noedRun.stats.dynamicDefInsns;
+    const fault::CoverageReport report =
+        core::campaign(bin, campaignOptions);
+
+    const char* label = mode == 0   ? "off"
+                        : mode == 1 ? "on, protected"
+                                    : "on, UNPROTECTED";
+    table.addRow(
+        {label, std::to_string(bin.lateOptStats.cseReplaced),
+         std::to_string(bin.program.insnCount()),
+         formatFixed(static_cast<double>(run.stats.cycles) /
+                         static_cast<double>(noedRun.stats.cycles),
+                     2),
+         formatPercent(report.fraction(fault::Outcome::kDetected)),
+         formatPercent(report.fraction(fault::Outcome::kDataCorrupt))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: with protection, CSE only touches the original stream\n"
+      "(few folds, coverage unchanged).  Without protection the fold count\n"
+      "jumps — one redundancy stream is rewritten into copies of the other,\n"
+      "so faults hitting the shared value before the copy pass every check;\n"
+      "silent corruption becomes possible again (non-zero at high trial\n"
+      "counts).  The paper avoids this by disabling the late stages, at\n"
+      "<=1.5%% performance cost.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench accepts environment overrides so the full-size experiments can
+// be run without recompiling:
+//   CASTED_SCALE   workload scale factor        (default per bench)
+//   CASTED_TRIALS  Monte Carlo trials per point (default per bench)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "support/check.h"
+#include "support/statistics.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+namespace casted::benchutil {
+
+inline std::uint32_t envU32(const char* name, std::uint32_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+}
+
+// Cycles for one (workload, machine, scheme) point.
+inline std::uint64_t runCycles(const ir::Program& program,
+                               const arch::MachineConfig& machine,
+                               passes::Scheme scheme) {
+  core::PipelineOptions options;
+  options.verifyAfterPasses = false;  // verified by the test suite
+  const core::CompiledProgram bin =
+      core::compile(program, machine, scheme, options);
+  const sim::RunResult result = core::run(bin);
+  CASTED_CHECK(result.exit == sim::ExitKind::kHalted &&
+               result.exitCode == 0)
+      << "bench run did not halt cleanly";
+  return result.stats.cycles;
+}
+
+inline void printHeader(const char* title, const char* paperRef) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paperRef);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace casted::benchutil

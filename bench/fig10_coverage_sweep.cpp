@@ -1,0 +1,81 @@
+// Figure 10: fault coverage of h263dec for NOED/SCED/DCED/CASTED across
+// issue widths 1-4 and delays 1-4 — the paper's demonstration that
+// reliability does NOT depend on the architecture configuration (variation
+// is statistical noise only).
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/campaign.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader(
+      "fig10_coverage_sweep — h263dec coverage across all configurations",
+      "Fig. 10 (h263dec fault coverage, issue 1-4, delay 1-4)");
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const std::uint32_t trials = benchutil::envU32("CASTED_TRIALS", 60);
+  const workloads::Workload wl = workloads::makeH263dec(scale);
+  std::printf("trials per point: %u (paper: 300)\n\n", trials);
+
+  core::PipelineOptions pipelineOptions;
+  pipelineOptions.verifyAfterPasses = false;
+
+  CsvWriter csv({"issue", "delay", "scheme", "safe", "detected",
+                 "data_corrupt"});
+  // Track the spread of the "safe" fraction per scheme across configs: the
+  // paper's claim is that it stays flat.
+  std::vector<double> castedSafe;
+
+  for (passes::Scheme scheme : passes::kAllSchemes) {
+    std::printf("--- %s ---\n", schemeName(scheme));
+    TextTable table({"issue", "delay", "benign", "detected", "exception",
+                     "data-corrupt", "timeout"});
+    for (std::uint32_t iw = 1; iw <= 4; ++iw) {
+      for (std::uint32_t delay = 1; delay <= 4; ++delay) {
+        const arch::MachineConfig machine =
+            arch::makePaperMachine(iw, delay);
+        const core::CompiledProgram noed = core::compile(
+            wl.program, machine, passes::Scheme::kNoed, pipelineOptions);
+        const sim::RunResult noedGolden = core::run(noed);
+
+        const core::CompiledProgram bin =
+            core::compile(wl.program, machine, scheme, pipelineOptions);
+        fault::CampaignOptions options;
+        options.trials = trials;
+        options.seed = 0xF16 + iw * 17 + delay;
+        options.originalDefInsns = noedGolden.stats.dynamicDefInsns;
+        const fault::CoverageReport report = core::campaign(bin, options);
+        table.addRow(
+            {std::to_string(iw), std::to_string(delay),
+             formatPercent(report.fraction(fault::Outcome::kBenign)),
+             formatPercent(report.fraction(fault::Outcome::kDetected)),
+             formatPercent(report.fraction(fault::Outcome::kException)),
+             formatPercent(report.fraction(fault::Outcome::kDataCorrupt)),
+             formatPercent(report.fraction(fault::Outcome::kTimeout))});
+        csv.addRow({std::to_string(iw), std::to_string(delay),
+                    schemeName(scheme),
+                    formatFixed(report.safeFraction(), 4),
+                    formatFixed(report.fraction(fault::Outcome::kDetected), 4),
+                    formatFixed(report.fraction(fault::Outcome::kDataCorrupt),
+                                4)});
+        if (scheme == passes::Scheme::kCasted) {
+          castedSafe.push_back(report.safeFraction());
+        }
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  const SampleSummary safe = summarize(castedSafe);
+  std::printf("CASTED safe fraction across the 16 configurations: "
+              "min %s, max %s, stddev %s\n",
+              formatPercent(safe.min).c_str(),
+              formatPercent(safe.max).c_str(),
+              formatFixed(safe.stddev, 3).c_str());
+  std::printf("(paper: flat — coverage does not depend on the "
+              "configuration; residual variation is Monte Carlo noise)\n");
+  csv.writeFile("fig10.csv");
+  std::printf("wrote fig10.csv\n");
+  return 0;
+}

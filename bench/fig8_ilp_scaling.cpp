@@ -1,0 +1,61 @@
+// Figure 8: ILP scaling — how each scheme's performance scales as the
+// per-cluster issue width grows (speedup over the same scheme at issue 1).
+//
+// The paper's reading: SCED usually scales *better* than NOED (the
+// redundant code adds ILP), DCED starts ahead and flattens, and h263enc is
+// the exception where dense checking makes SCED scale worse.
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader(
+      "fig8_ilp_scaling — speedup vs issue width (delay = 1)",
+      "Fig. 8 (benchmark ILP scaling)");
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const std::vector<workloads::Workload> suite =
+      workloads::makeAllWorkloads(scale);
+
+  CsvWriter csv({"benchmark", "scheme", "issue", "speedup"});
+  for (const workloads::Workload& wl : suite) {
+    std::printf("--- %s ---\n", wl.name.c_str());
+    TextTable table({"scheme", "issue 1", "issue 2", "issue 3", "issue 4",
+                     "scaling 1->4"});
+    double noedScaling = 0.0;
+    double scedScaling = 0.0;
+    for (passes::Scheme scheme : passes::kAllSchemes) {
+      std::vector<std::string> row = {schemeName(scheme)};
+      double base = 0.0;
+      double last = 0.0;
+      for (std::uint32_t iw = 1; iw <= 4; ++iw) {
+        const arch::MachineConfig machine = arch::makePaperMachine(iw, 1);
+        const double cycles = static_cast<double>(
+            benchutil::runCycles(wl.program, machine, scheme));
+        if (iw == 1) {
+          base = cycles;
+        }
+        last = base / cycles;
+        row.push_back(formatFixed(last, 2));
+        csv.addRow({wl.name, schemeName(scheme), std::to_string(iw),
+                    formatFixed(last, 4)});
+      }
+      row.push_back(formatFixed(last, 2) + "x");
+      table.addRow(std::move(row));
+      if (scheme == passes::Scheme::kNoed) {
+        noedScaling = last;
+      }
+      if (scheme == passes::Scheme::kSced) {
+        scedScaling = last;
+      }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("SCED scales %s than NOED here (paper: better in most "
+                "benchmarks, worse for h263enc)\n\n",
+                scedScaling >= noedScaling ? "better/equal" : "worse");
+  }
+  csv.writeFile("fig8.csv");
+  std::printf("wrote fig8.csv\n");
+  return 0;
+}

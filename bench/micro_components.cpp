@@ -1,0 +1,140 @@
+// Component micro-benchmarks (google-benchmark): throughput of the
+// error-detection pass, BUG assignment, list scheduler, cache model and the
+// simulator itself — the numbers that bound how big an experiment grid is
+// practical.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "dfg/dfg.h"
+#include "fault/campaign.h"
+#include "passes/assignment.h"
+#include "passes/error_detection.h"
+#include "sched/list_scheduler.h"
+#include "sim/cache.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace casted;
+
+void BM_ErrorDetectionPass(benchmark::State& state) {
+  const workloads::Workload wl = workloads::makeH263dec(1);
+  std::size_t insns = 0;
+  for (auto _ : state) {
+    ir::Program copy = wl.program;
+    const passes::ErrorDetectionStats stats =
+        passes::applyErrorDetection(copy);
+    benchmark::DoNotOptimize(stats.totalInserted());
+    insns = copy.insnCount();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(insns));
+}
+BENCHMARK(BM_ErrorDetectionPass);
+
+void BM_BugAssignment(benchmark::State& state) {
+  workloads::Workload wl = workloads::makeH263dec(1);
+  passes::applyErrorDetection(wl.program);
+  const arch::MachineConfig machine = arch::makePaperMachine(
+      static_cast<std::uint32_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    const passes::AssignmentStats stats = passes::assignClusters(
+        wl.program, machine, passes::Scheme::kCasted);
+    benchmark::DoNotOptimize(stats.offCluster0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wl.program.insnCount()));
+}
+BENCHMARK(BM_BugAssignment)->Arg(1)->Arg(4);
+
+void BM_ListScheduler(benchmark::State& state) {
+  workloads::Workload wl = workloads::makeCjpeg(1);
+  passes::applyErrorDetection(wl.program);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+  passes::assignClusters(wl.program, machine, passes::Scheme::kCasted);
+  for (auto _ : state) {
+    const sched::ProgramSchedule schedule =
+        sched::scheduleProgram(wl.program, machine);
+    benchmark::DoNotOptimize(schedule.functions.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wl.program.insnCount()));
+}
+BENCHMARK(BM_ListScheduler);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  arch::CacheConfig config;
+  sim::CacheHierarchy caches(config);
+  Rng rng(1);
+  // Working set sized by the arg (KiB) to sweep hit levels.
+  const std::uint64_t span = static_cast<std::uint64_t>(state.range(0)) << 10;
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += caches.access(0x10000 + (rng.next() % span));
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess)->Arg(8)->Arg(128)->Arg(2048)->Arg(8192);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const workloads::Workload wl = workloads::makeParser(1);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 1);
+  core::PipelineOptions options;
+  options.verifyAfterPasses = false;
+  const core::CompiledProgram bin = core::compile(
+      wl.program, machine,
+      static_cast<passes::Scheme>(state.range(0)), options);
+  std::uint64_t dyn = 0;
+  for (auto _ : state) {
+    const sim::RunResult result = core::run(bin);
+    benchmark::DoNotOptimize(result.stats.cycles);
+    dyn = result.stats.dynamicInsns;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dyn));
+  state.SetLabel("simulated-insns/s in items");
+}
+BENCHMARK(BM_SimulatorThroughput)
+    ->Arg(static_cast<int>(passes::Scheme::kNoed))
+    ->Arg(static_cast<int>(passes::Scheme::kCasted));
+
+void BM_FaultTrial(benchmark::State& state) {
+  const workloads::Workload wl = workloads::makeParser(1);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+  core::PipelineOptions options;
+  options.verifyAfterPasses = false;
+  const core::CompiledProgram bin =
+      core::compile(wl.program, machine, passes::Scheme::kCasted, options);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fault::CampaignOptions campaignOptions;
+    campaignOptions.trials = 1;
+    campaignOptions.seed = seed++;
+    const fault::CoverageReport report =
+        core::campaign(bin, campaignOptions);
+    benchmark::DoNotOptimize(report.trials);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultTrial);
+
+void BM_CompilePipeline(benchmark::State& state) {
+  const workloads::Workload wl = workloads::makeH263enc(1);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+  core::PipelineOptions options;
+  options.verifyAfterPasses = false;
+  for (auto _ : state) {
+    const core::CompiledProgram bin = core::compile(
+        wl.program, machine, passes::Scheme::kCasted, options);
+    benchmark::DoNotOptimize(bin.program.insnCount());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompilePipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table I: the processor configuration, printed from the live machine model
+// (so this table can never drift from what the simulator actually uses).
+#include "bench_util.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader("table1_config — processor configuration",
+                         "Table I (IA64-style clustered VLIW)");
+
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 1);
+
+  TextTable processor({"parameter", "value"});
+  processor.addRow({"Clusters", std::to_string(machine.clusterCount)});
+  processor.addRow({"Issue width", "configurable (1-4 per cluster)"});
+  processor.addRow({"Inter-cluster delay", "configurable (1-4 cycles)"});
+  processor.addRow(
+      {"Register file (per cluster)",
+       std::to_string(machine.registerFile.gp) + "GP, " +
+           std::to_string(machine.registerFile.fp) + "FP, " +
+           std::to_string(machine.registerFile.pr) + "PR"});
+  processor.addRow({"Branch prediction", "perfect"});
+  processor.addRow({"Int ALU / mul / div latency",
+                    std::to_string(machine.latencies.intAlu) + " / " +
+                        std::to_string(machine.latencies.intMul) + " / " +
+                        std::to_string(machine.latencies.intDiv)});
+  processor.addRow({"FP ALU / mul / div latency",
+                    std::to_string(machine.latencies.fpAlu) + " / " +
+                        std::to_string(machine.latencies.fpMul) + " / " +
+                        std::to_string(machine.latencies.fpDiv)});
+  std::printf("%s\n", processor.render().c_str());
+
+  TextTable cache({"level", "size", "block", "assoc", "latency",
+                   "non-blocking"});
+  for (const arch::CacheLevelConfig& level : machine.cache.levels) {
+    cache.addRow({level.name, std::to_string(level.sizeBytes / 1024) + "K",
+                  std::to_string(level.blockBytes) + "B",
+                  std::to_string(level.associativity) + "-way",
+                  std::to_string(level.latency), "yes (per-bundle MLP)"});
+  }
+  cache.addRow({"Main", "inf", "-", "-",
+                std::to_string(machine.cache.memoryLatency), "-"});
+  std::printf("%s\n", cache.render().c_str());
+
+  TextTable benchmarks({"MediaBench II video", "SPEC CINT2000"});
+  benchmarks.addRow({"cjpeg", "175.vpr"});
+  benchmarks.addRow({"h263dec", "181.mcf"});
+  benchmarks.addRow({"mpeg2dec", "197.parser"});
+  benchmarks.addRow({"h263enc", "-"});
+  std::printf("Table II — benchmark programs (re-authored kernels, see "
+              "DESIGN.md §4):\n%s\n",
+              benchmarks.render().c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table III: compiler-based error-detection schemes compared, extended with
+// *measured* placement statistics from our pipeline, showing what "adaptive
+// code placement" means concretely: CASTED migrates originals, duplicates
+// AND checks between clusters as the configuration changes, while SCED/DCED
+// placements are fixed.
+#include "bench_util.h"
+
+int main() {
+  using namespace casted;
+  benchutil::printHeader("table3_schemes — scheme comparison",
+                         "Table III (compiler-based error detection schemes)");
+
+  TextTable related({"scheme", "speed-up factors", "target architecture",
+                     "code placement"});
+  related.addRow({"EDDI", "-", "wide single-core", "fixed"});
+  related.addRow({"SWIFT", "reduced checking points", "wide single-core",
+                  "fixed"});
+  related.addRow({"Shoestring", "partial redundancy", "single-core",
+                  "fixed"});
+  related.addRow({"Compiler-assisted ED", "partial redundancy",
+                  "single-core", "fixed"});
+  related.addRow({"SRMT", "partially synchronized threads", "dual-core",
+                  "fixed"});
+  related.addRow({"DAFT", "decoupled threads", "dual-core", "fixed"});
+  related.addRow({"CASTED", "adaptivity", "tightly-coupled cores",
+                  "adaptive"});
+  std::printf("%s\n", related.render().c_str());
+
+  const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
+  const workloads::Workload wl = workloads::makeH263dec(scale);
+  std::printf("Measured CASTED placement on %s (fractions of all "
+              "instructions):\n",
+              wl.name.c_str());
+  TextTable placement({"issue", "delay", "off cluster 0",
+                       "originals moved", "duplicates kept home",
+                       "checks moved"});
+  core::PipelineOptions options;
+  options.verifyAfterPasses = false;
+  for (std::uint32_t iw : {1u, 2u, 4u}) {
+    for (std::uint32_t delay : {1u, 2u, 4u}) {
+      const core::CompiledProgram bin = core::compile(
+          wl.program, arch::makePaperMachine(iw, delay),
+          passes::Scheme::kCasted, options);
+      const passes::AssignmentStats& stats = bin.assignmentStats;
+      const double total = static_cast<double>(stats.total);
+      placement.addRow(
+          {std::to_string(iw), std::to_string(delay),
+           formatPercent(static_cast<double>(stats.offCluster0) / total),
+           formatPercent(static_cast<double>(stats.originalsMoved) / total),
+           formatPercent(static_cast<double>(stats.duplicatesHome) / total),
+           formatPercent(static_cast<double>(stats.checksMoved) / total)});
+    }
+  }
+  std::printf("%s", placement.render().c_str());
+  std::printf(
+      "\nReading: the placement *changes with the configuration* — more\n"
+      "spreading on narrow machines, collapse towards one cluster as the\n"
+      "delay grows (paper §III-D: 'checks can migrate from one cluster to\n"
+      "the other when appropriate').\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Example: which scheme should a compiler pick for a given machine?
+//
+// Sweeps the (issue width x inter-cluster delay) design space for one
+// workload and prints the winner per point — the map the paper's
+// motivating section (§II-B) sketches: DCED wins narrow/fast-interconnect
+// machines, SCED wins wide/slow ones, and CASTED never has to choose.
+//
+//   ./build/examples/design_space_explorer [workload]
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "support/statistics.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+using namespace casted;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "h263dec";
+  const workloads::Workload wl = workloads::makeWorkload(name, 1);
+
+  std::printf("design-space map for %s (cells show best fixed scheme, its\n"
+              "slowdown, and CASTED's slowdown)\n\n",
+              wl.name.c_str());
+
+  TextTable table({"", "delay 1", "delay 2", "delay 3", "delay 4"});
+  core::PipelineOptions options;
+  options.verifyAfterPasses = false;
+  int castedWins = 0;
+  int castedTies = 0;
+  for (std::uint32_t iw = 1; iw <= 4; ++iw) {
+    std::vector<std::string> row = {"issue " + std::to_string(iw)};
+    for (std::uint32_t delay = 1; delay <= 4; ++delay) {
+      const arch::MachineConfig machine = arch::makePaperMachine(iw, delay);
+      auto cycles = [&](passes::Scheme scheme) {
+        return core::run(core::compile(wl.program, machine, scheme, options))
+            .stats.cycles;
+      };
+      const double noed = static_cast<double>(cycles(passes::Scheme::kNoed));
+      const double sced =
+          static_cast<double>(cycles(passes::Scheme::kSced)) / noed;
+      const double dced =
+          static_cast<double>(cycles(passes::Scheme::kDced)) / noed;
+      const double casted =
+          static_cast<double>(cycles(passes::Scheme::kCasted)) / noed;
+      const bool scedWins = sced <= dced;
+      const double best = scedWins ? sced : dced;
+      if (casted < best - 1e-9) {
+        ++castedWins;
+      } else if (casted <= best + 1e-9) {
+        ++castedTies;
+      }
+      row.push_back(std::string(scedWins ? "SCED " : "DCED ") +
+                    formatFixed(best, 2) + " | C " + formatFixed(casted, 2));
+    }
+    table.addRow(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CASTED strictly beat the best fixed scheme in %d of 16 "
+              "cells and matched it in %d more.\n",
+              castedWins, castedTies);
+  std::printf("\nTakeaway: the winning fixed scheme flips across the design\n"
+              "space, so any fixed choice is wrong somewhere; the adaptive\n"
+              "placement tracks (and often beats) the winner everywhere.\n");
+  return 0;
+}

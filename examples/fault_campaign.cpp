@@ -1,0 +1,68 @@
+// Example: measure how well the protection actually works.
+//
+// Runs the paper's Monte Carlo fault-injection methodology (§IV-C) on one
+// workload: random single-bit flips in instruction output registers, runs
+// classified into the five outcome classes.  Compares the unprotected
+// binary against the CASTED-protected one.
+//
+//   ./build/examples/fault_campaign [workload] [trials]
+//   e.g. ./build/examples/fault_campaign h263dec 300
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "support/statistics.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+using namespace casted;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "h263dec";
+  const std::uint32_t trials =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 150;
+
+  const workloads::Workload wl = workloads::makeWorkload(name, 1);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+
+  std::printf("fault campaign on %s: %u trials per scheme, one bit flip per\n"
+              "%s-sized window of dynamic instructions (paper §IV-C)\n\n",
+              wl.name.c_str(), trials, "NOED");
+
+  // The NOED dynamic length fixes the error *rate* for all binaries.
+  const core::CompiledProgram noed =
+      core::compile(wl.program, machine, passes::Scheme::kNoed);
+  const sim::RunResult golden = core::run(noed);
+
+  TextTable table({"scheme", "benign", "detected", "exception",
+                   "data-corrupt", "timeout", "unsafe?"});
+  for (passes::Scheme scheme : passes::kAllSchemes) {
+    const core::CompiledProgram bin =
+        core::compile(wl.program, machine, scheme);
+    fault::CampaignOptions options;
+    options.trials = trials;
+    options.originalDefInsns = golden.stats.dynamicDefInsns;
+    const fault::CoverageReport report = core::campaign(bin, options);
+    table.addRow({schemeName(scheme),
+                  formatPercent(report.fraction(fault::Outcome::kBenign)),
+                  formatPercent(report.fraction(fault::Outcome::kDetected)),
+                  formatPercent(report.fraction(fault::Outcome::kException)),
+                  formatPercent(
+                      report.fraction(fault::Outcome::kDataCorrupt)),
+                  formatPercent(report.fraction(fault::Outcome::kTimeout)),
+                  report.fraction(fault::Outcome::kDataCorrupt) > 0.0
+                      ? "yes"
+                      : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "How to read this:\n"
+      "  benign        output unchanged (the flip was masked)\n"
+      "  detected      a CHECK caught the divergence before it escaped\n"
+      "  exception     the hardware trapped (bad address, div-by-zero...);\n"
+      "                catchable by a handler, so effectively detected\n"
+      "  data-corrupt  WRONG OUTPUT with no warning — the failure mode the\n"
+      "                whole technique exists to eliminate\n"
+      "  timeout       runaway execution, caught by the watchdog\n");
+  return 0;
+}

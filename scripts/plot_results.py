@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench binaries drop (fig6_7.csv, fig8.csv, fig9.csv,
+fig10.csv, ext_clusters.csv) into PNGs shaped like the paper's figures.
+
+Usage:
+    for b in build/bench/*; do $b; done   # writes the CSVs to the CWD
+    python3 scripts/plot_results.py [--outdir plots]
+
+Requires matplotlib; degrades to a textual summary without it.
+"""
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+SCHEMES = ["SCED", "DCED", "CASTED"]
+COLORS = {"NOED": "#888888", "SCED": "#1f77b4", "DCED": "#d62728",
+          "CASTED": "#2ca02c"}
+
+
+def load(path):
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return list(csv.DictReader(handle))
+
+
+def plot_fig6_7(rows, outdir, plt):
+    benchmarks = sorted({r["benchmark"] for r in rows})
+    fig, axes = plt.subplots(2, 4, figsize=(18, 7), sharey=True)
+    for ax, bench in zip(axes.flat, benchmarks):
+        for scheme in SCHEMES:
+            points = [(int(r["issue"]), int(r["delay"]), float(r["slowdown"]))
+                      for r in rows
+                      if r["benchmark"] == bench and r["scheme"] == scheme]
+            points.sort()
+            xs = [f"i{i}d{d}" for i, d, _ in points]
+            ax.plot(xs, [s for _, _, s in points], label=scheme,
+                    color=COLORS[scheme], linewidth=1.2)
+        ax.set_title(bench)
+        ax.tick_params(axis="x", rotation=90, labelsize=6)
+        ax.axhline(1.0, color="#cccccc", linewidth=0.8)
+    axes.flat[0].legend()
+    for ax in axes.flat[len(benchmarks):]:
+        ax.axis("off")
+    fig.suptitle("Figs. 6-7: slowdown vs NOED across configurations")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig6_7.png"), dpi=150)
+
+
+def plot_fig8(rows, outdir, plt):
+    benchmarks = sorted({r["benchmark"] for r in rows})
+    fig, axes = plt.subplots(2, 4, figsize=(16, 6), sharey=True)
+    for ax, bench in zip(axes.flat, benchmarks):
+        for scheme in ["NOED"] + SCHEMES:
+            points = [(int(r["issue"]), float(r["speedup"])) for r in rows
+                      if r["benchmark"] == bench and r["scheme"] == scheme]
+            points.sort()
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    marker="o", label=scheme, color=COLORS[scheme])
+        ax.set_title(bench)
+        ax.set_xlabel("issue width")
+    axes.flat[0].set_ylabel("speedup vs issue 1")
+    axes.flat[0].legend()
+    for ax in axes.flat[len(benchmarks):]:
+        ax.axis("off")
+    fig.suptitle("Fig. 8: ILP scaling")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig8.png"), dpi=150)
+
+
+def plot_fig9(rows, outdir, plt):
+    classes = ["benign", "detected", "exception", "data_corrupt", "timeout"]
+    palette = ["#9ecae1", "#2ca02c", "#ff7f0e", "#d62728", "#7f7f7f"]
+    benchmarks = sorted({r["benchmark"] for r in rows})
+    schemes = ["NOED"] + SCHEMES
+    fig, ax = plt.subplots(figsize=(14, 5))
+    width = 0.8
+    positions, labels = [], []
+    x = 0
+    for bench in benchmarks:
+        for scheme in schemes:
+            row = next((r for r in rows
+                        if r["benchmark"] == bench and r["scheme"] == scheme),
+                       None)
+            if row is None:
+                continue
+            bottom = 0.0
+            for cls, color in zip(classes, palette):
+                frac = float(row[cls])
+                ax.bar(x, frac, width, bottom=bottom, color=color,
+                       label=cls if x == 0 else None)
+            # rebuild properly stacked (bar calls above draw over each other
+            # unless bottom advances)
+                bottom += frac
+            positions.append(x)
+            labels.append(f"{bench}\n{scheme}")
+            x += 1
+        x += 1
+    ax.set_xticks(positions)
+    ax.set_xticklabels(labels, fontsize=6, rotation=90)
+    ax.set_ylabel("fraction of trials")
+    ax.legend(loc="upper right", fontsize=8)
+    fig.suptitle("Fig. 9: fault coverage (issue 2 / delay 2)")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig9.png"), dpi=150)
+
+
+def plot_fig10(rows, outdir, plt):
+    fig, ax = plt.subplots(figsize=(10, 4))
+    for scheme in ["NOED"] + SCHEMES:
+        points = [(int(r["issue"]), int(r["delay"]), float(r["safe"]))
+                  for r in rows if r["scheme"] == scheme]
+        points.sort()
+        xs = [f"i{i}d{d}" for i, d, _ in points]
+        ax.plot(xs, [s for _, _, s in points], marker=".",
+                label=scheme, color=COLORS[scheme])
+    ax.set_ylabel("safe fraction (1 - silent corruption)")
+    ax.tick_params(axis="x", rotation=90, labelsize=7)
+    ax.legend()
+    fig.suptitle("Fig. 10: h263dec coverage across configurations")
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig10.png"), dpi=150)
+
+
+def textual_summary(name, rows):
+    print(f"-- {name}: {len(rows)} rows")
+    if rows:
+        print("   columns:", ", ".join(rows[0].keys()))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--outdir", default="plots")
+    parser.add_argument("--indir", default=".")
+    args = parser.parse_args()
+
+    sources = {
+        "fig6_7.csv": plot_fig6_7,
+        "fig8.csv": plot_fig8,
+        "fig9.csv": plot_fig9,
+        "fig10.csv": plot_fig10,
+    }
+    loaded = {name: load(os.path.join(args.indir, name)) for name in sources}
+    missing = [name for name, rows in loaded.items() if rows is None]
+    if missing:
+        print("missing CSVs (run the bench binaries first):", missing)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; textual summary only")
+        for name, rows in loaded.items():
+            if rows is not None:
+                textual_summary(name, rows)
+        return 0
+
+    os.makedirs(args.outdir, exist_ok=True)
+    for name, plotter in sources.items():
+        rows = loaded[name]
+        if rows:
+            plotter(rows, args.outdir, plt)
+            print(f"wrote {args.outdir}/{name.replace('.csv', '.png')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

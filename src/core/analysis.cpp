@@ -1,0 +1,74 @@
+#include "core/analysis.h"
+
+#include <sstream>
+
+#include "dfg/dfg.h"
+#include "support/statistics.h"
+
+namespace casted::core {
+
+ScheduleAnalysis analyze(const CompiledProgram& compiled) {
+  ScheduleAnalysis analysis;
+  analysis.perCluster.assign(compiled.machine.clusterCount, 0);
+
+  for (ir::FuncId f = 0; f < compiled.program.functionCount(); ++f) {
+    const ir::Function& fn = compiled.program.function(f);
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      const ir::BasicBlock& block = fn.block(b);
+      for (const ir::Instruction& insn : block.insns()) {
+        ++analysis.instructions;
+        ++analysis.byOrigin[static_cast<int>(insn.origin)];
+        const std::size_t cluster = static_cast<std::size_t>(insn.cluster);
+        if (cluster < analysis.perCluster.size()) {
+          ++analysis.perCluster[cluster];
+        }
+      }
+      analysis.staticCycles +=
+          compiled.schedule.functions[f].blocks[b].length;
+
+      // Count inter-cluster value transfers implied by the placement.
+      const dfg::DataFlowGraph graph(block, compiled.machine);
+      for (std::uint32_t node = 0; node < graph.size(); ++node) {
+        for (const dfg::Edge& edge : graph.succs(node)) {
+          if (edge.kind != dfg::DepKind::kData &&
+              edge.kind != dfg::DepKind::kGuard) {
+            continue;
+          }
+          ++analysis.valueEdges;
+          if (block.insns()[edge.from].cluster !=
+              block.insns()[edge.to].cluster) {
+            ++analysis.crossClusterTransfers;
+          }
+        }
+      }
+    }
+  }
+
+  const double slots = static_cast<double>(analysis.staticCycles) *
+                       compiled.machine.clusterCount *
+                       compiled.machine.issueWidth;
+  analysis.slotUtilisation =
+      slots == 0.0 ? 0.0 : static_cast<double>(analysis.instructions) / slots;
+  return analysis;
+}
+
+std::string ScheduleAnalysis::toString() const {
+  std::ostringstream out;
+  out << instructions << " instructions over " << staticCycles
+      << " static cycles, slot utilisation "
+      << formatPercent(slotUtilisation) << "\n";
+  out << "placement:";
+  for (std::size_t c = 0; c < perCluster.size(); ++c) {
+    out << " cluster" << c << "=" << perCluster[c];
+  }
+  out << " (" << formatPercent(fractionOffCluster0()) << " off cluster 0)\n";
+  out << "origins: original=" << byOrigin[0] << " duplicate=" << byOrigin[1]
+      << " check=" << byOrigin[2] << " copy=" << byOrigin[3]
+      << " spill=" << byOrigin[4] << "\n";
+  out << "inter-cluster transfers: " << crossClusterTransfers << " of "
+      << valueEdges << " value edges ("
+      << formatPercent(crossClusterFraction()) << ")";
+  return out.str();
+}
+
+}  // namespace casted::core

@@ -1,0 +1,54 @@
+// Static analysis of a compiled program: where the instructions went, how
+// full the issue slots are, and how much inter-cluster communication the
+// placement implies.  Backs the measured half of the Table III bench and
+// gives library users a way to understand *why* a placement is fast or
+// slow without running the simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace casted::core {
+
+struct ScheduleAnalysis {
+  std::uint64_t instructions = 0;
+  std::vector<std::uint64_t> perCluster;  // instruction count per cluster
+  // Instructions by origin, indexed by ir::InsnOrigin.
+  std::array<std::uint64_t, 5> byOrigin = {};
+
+  // Sum of block schedule lengths (static cycles).
+  std::uint64_t staticCycles = 0;
+  // instructions / (staticCycles * clusters * issueWidth): how full the
+  // machine's slots are across the static schedule.
+  double slotUtilisation = 0.0;
+
+  // Data or guard edges whose producer and consumer sit on different
+  // clusters — each is a transfer paying the inter-cluster delay.
+  std::uint64_t crossClusterTransfers = 0;
+  std::uint64_t valueEdges = 0;  // total data+guard edges, for the ratio
+
+  double crossClusterFraction() const {
+    return valueEdges == 0 ? 0.0
+                           : static_cast<double>(crossClusterTransfers) /
+                                 static_cast<double>(valueEdges);
+  }
+  double fractionOffCluster0() const {
+    if (instructions == 0 || perCluster.empty()) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(perCluster[0]) /
+                     static_cast<double>(instructions);
+  }
+
+  // A short multi-line human-readable summary.
+  std::string toString() const;
+};
+
+// Analyses the placement and schedule of `compiled`.
+ScheduleAnalysis analyze(const CompiledProgram& compiled);
+
+}  // namespace casted::core

@@ -1,0 +1,74 @@
+#include "core/pipeline.h"
+
+#include "ir/verifier.h"
+#include "sched/list_scheduler.h"
+
+namespace casted::core {
+
+CompiledProgram compile(const ir::Program& source,
+                        const arch::MachineConfig& machine,
+                        passes::Scheme scheme,
+                        const PipelineOptions& options) {
+  machine.validate();
+  CompiledProgram compiled;
+  compiled.program = source;
+  compiled.scheme = scheme;
+  compiled.machine = machine;
+
+  if (options.verifyAfterPasses) {
+    ir::verifyOrThrow(compiled.program);
+  }
+
+  if (options.runEarlyOptimisations) {
+    compiled.earlyOptStats =
+        passes::applyEarlyOptimisations(compiled.program);
+    if (options.verifyAfterPasses) {
+      ir::verifyOrThrow(compiled.program);
+    }
+  }
+
+  if (scheme != passes::Scheme::kNoed) {
+    compiled.errorDetectionStats = passes::applyErrorDetection(
+        compiled.program, options.errorDetection);
+    if (options.verifyAfterPasses) {
+      ir::verifyOrThrow(compiled.program);
+    }
+  }
+
+  if (options.modelRegisterPressure) {
+    compiled.spillStats = passes::applySpilling(compiled.program, machine);
+    if (options.verifyAfterPasses) {
+      ir::verifyOrThrow(compiled.program);
+    }
+  }
+
+  if (options.runLateOptimisations) {
+    const passes::LateOptStats cse =
+        passes::applyLocalCse(compiled.program, options.lateOpts);
+    const passes::LateOptStats dce =
+        passes::applyDce(compiled.program, options.lateOpts);
+    compiled.lateOptStats.cseReplaced = cse.cseReplaced;
+    compiled.lateOptStats.dceRemoved = dce.dceRemoved;
+    if (options.verifyAfterPasses) {
+      ir::verifyOrThrow(compiled.program);
+    }
+  }
+
+  compiled.assignmentStats =
+      passes::assignClusters(compiled.program, machine, scheme);
+  compiled.schedule = sched::scheduleProgram(compiled.program, machine);
+  return compiled;
+}
+
+sim::RunResult run(const CompiledProgram& compiled, sim::SimOptions options) {
+  return sim::simulate(compiled.program, compiled.schedule, compiled.machine,
+                       std::move(options));
+}
+
+fault::CoverageReport campaign(const CompiledProgram& compiled,
+                               const fault::CampaignOptions& options) {
+  return fault::runCampaign(compiled.program, compiled.schedule,
+                            compiled.machine, options);
+}
+
+}  // namespace casted::core

@@ -1,0 +1,86 @@
+// casted::core — the library's top-level API.
+//
+// Mirrors the paper's tool flow (Fig. 5): take a program, run the error-
+// detection pass (Algorithm 1), run the cluster-assignment pass (fixed
+// SCED/DCED placement or BUG, Algorithm 2), schedule for the clustered VLIW,
+// and hand the result to the simulator or the fault-injection campaign.
+//
+//   auto machine = arch::makePaperMachine(/*issueWidth=*/2, /*delay=*/1);
+//   core::CompiledProgram bin =
+//       core::compile(program, machine, passes::Scheme::kCasted);
+//   sim::RunResult r = core::run(bin);
+//   fault::CoverageReport cov = core::campaign(bin, {.trials = 300});
+#pragma once
+
+#include "arch/machine_config.h"
+#include "fault/campaign.h"
+#include "ir/function.h"
+#include "passes/assignment.h"
+#include "passes/early_opts.h"
+#include "passes/error_detection.h"
+#include "passes/late_opts.h"
+#include "passes/spill.h"
+#include "passes/scheme.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+
+namespace casted::core {
+
+struct PipelineOptions {
+  // Pre-protection optimisations (constant folding + copy propagation),
+  // standing in for the paper's "-O1, optimizations enabled" input code.
+  bool runEarlyOptimisations = true;
+  passes::ErrorDetectionOptions errorDetection;
+  // Late CSE/DCE.  The paper runs them for NOED and disables them for the
+  // replicated code of the protected binaries (§IV-A); `protectRedundant`
+  // expresses exactly that, so the passes stay on by default for every
+  // scheme.  The ablation bench flips protectRedundant off to show why the
+  // paper needed this.
+  bool runLateOptimisations = true;
+  passes::LateOptOptions lateOpts;
+  // Model per-cluster register-file capacity by spilling (DESIGN.md §6 and
+  // paper §IV-B1): off by default — the main experiments keep virtual
+  // registers, `ablation_spill` turns this on.
+  bool modelRegisterPressure = false;
+  // Verify the IR after each transformation (cheap; keep on outside of the
+  // inner loops of big sweeps).
+  bool verifyAfterPasses = true;
+};
+
+// A scheduled binary for one (machine, scheme) point.
+struct CompiledProgram {
+  ir::Program program;  // transformed copy of the source
+  sched::ProgramSchedule schedule;
+  passes::Scheme scheme = passes::Scheme::kNoed;
+  arch::MachineConfig machine;
+  passes::ErrorDetectionStats errorDetectionStats;
+  passes::AssignmentStats assignmentStats;
+  passes::LateOptStats lateOptStats;
+  passes::SpillStats spillStats;
+  passes::EarlyOptStats earlyOptStats;
+
+  // Static code growth vs `sourceInsns` (the paper reports ~2.4x).
+  double codeGrowth(std::size_t sourceInsns) const {
+    return sourceInsns == 0
+               ? 0.0
+               : static_cast<double>(program.insnCount()) /
+                     static_cast<double>(sourceInsns);
+  }
+};
+
+// Compiles `source` for `machine` under `scheme`.  The source program is not
+// modified.
+CompiledProgram compile(const ir::Program& source,
+                        const arch::MachineConfig& machine,
+                        passes::Scheme scheme,
+                        const PipelineOptions& options = {});
+
+// Executes a compiled program.
+sim::RunResult run(const CompiledProgram& compiled,
+                   sim::SimOptions options = {});
+
+// Runs the Monte Carlo fault campaign on a compiled program.
+fault::CoverageReport campaign(const CompiledProgram& compiled,
+                               const fault::CampaignOptions& options = {});
+
+}  // namespace casted::core

@@ -1,0 +1,125 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace casted::fault {
+
+const char* outcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kBenign:
+      return "benign";
+    case Outcome::kDetected:
+      return "detected";
+    case Outcome::kException:
+      return "exception";
+    case Outcome::kDataCorrupt:
+      return "data-corrupt";
+    case Outcome::kTimeout:
+      return "timeout";
+  }
+  CASTED_UNREACHABLE("bad Outcome");
+}
+
+GoldenProfile profileGolden(const ir::Program& program,
+                            const sched::ProgramSchedule& schedule,
+                            const arch::MachineConfig& config,
+                            const sim::SimOptions& simOptions) {
+  GoldenProfile profile;
+  sim::SimOptions options = simOptions;
+  options.faultPlan = nullptr;
+  profile.result = sim::simulate(program, schedule, config, options);
+  CASTED_CHECK(profile.result.exit == sim::ExitKind::kHalted)
+      << "golden run did not halt cleanly ("
+      << sim::exitKindName(profile.result.exit) << ")";
+  profile.defInsns = profile.result.stats.dynamicDefInsns;
+  profile.cycles = profile.result.stats.cycles;
+  CASTED_CHECK(profile.defInsns > 0) << "program executed no instructions";
+  return profile;
+}
+
+Outcome classify(const sim::RunResult& faulty, const GoldenProfile& golden) {
+  switch (faulty.exit) {
+    case sim::ExitKind::kDetected:
+      return Outcome::kDetected;
+    case sim::ExitKind::kException:
+      return Outcome::kException;
+    case sim::ExitKind::kTimeout:
+      return Outcome::kTimeout;
+    case sim::ExitKind::kHalted:
+      break;
+  }
+  const bool sameOutput = faulty.output == golden.result.output;
+  const bool sameExit = faulty.exitCode == golden.result.exitCode;
+  return (sameOutput && sameExit) ? Outcome::kBenign : Outcome::kDataCorrupt;
+}
+
+sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
+                             std::uint64_t originalDefInsns) {
+  CASTED_CHECK(runDefInsns > 0) << "empty run";
+  if (originalDefInsns == 0) {
+    originalDefInsns = runDefInsns;
+  }
+  // Fixed error rate: expected flips = runLength / originalLength (>= 1 by
+  // construction for error-detection binaries; == 1 for the original).
+  const double expected = static_cast<double>(runDefInsns) /
+                          static_cast<double>(originalDefInsns);
+  std::uint64_t flips = static_cast<std::uint64_t>(expected);
+  const double fractional = expected - static_cast<double>(flips);
+  if (rng.nextDouble() < fractional) {
+    ++flips;
+  }
+  flips = std::max<std::uint64_t>(flips, 1);
+
+  sim::FaultPlan plan;
+  plan.points.reserve(flips);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    sim::FaultPoint point;
+    point.ordinal = rng.nextBelow(runDefInsns);
+    point.whichDef = static_cast<std::uint32_t>(rng.nextBelow(4));
+    point.bit = static_cast<std::uint32_t>(rng.nextBelow(64));
+    plan.points.push_back(point);
+  }
+  std::sort(plan.points.begin(), plan.points.end(),
+            [](const sim::FaultPoint& a, const sim::FaultPoint& b) {
+              return a.ordinal < b.ordinal;
+            });
+  // Collapse duplicate ordinals (the simulator consumes one point per
+  // matching instruction).
+  plan.points.erase(
+      std::unique(plan.points.begin(), plan.points.end(),
+                  [](const sim::FaultPoint& a, const sim::FaultPoint& b) {
+                    return a.ordinal == b.ordinal;
+                  }),
+      plan.points.end());
+  return plan;
+}
+
+CoverageReport runCampaign(const ir::Program& program,
+                           const sched::ProgramSchedule& schedule,
+                           const arch::MachineConfig& config,
+                           const CampaignOptions& options) {
+  const GoldenProfile golden =
+      profileGolden(program, schedule, config, options.simOptions);
+
+  CoverageReport report;
+  Rng rng(options.seed);
+  for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
+    Rng trialRng = rng.fork();
+    const sim::FaultPlan plan = makeTrialPlan(
+        trialRng, golden.defInsns, options.originalDefInsns);
+
+    sim::SimOptions simOptions = options.simOptions;
+    simOptions.faultPlan = &plan;
+    simOptions.maxCycles = golden.cycles * options.timeoutFactor;
+    const sim::RunResult faulty =
+        sim::simulate(program, schedule, config, simOptions);
+
+    ++report.counts[static_cast<int>(classify(faulty, golden))];
+    ++report.trials;
+  }
+  return report;
+}
+
+}  // namespace casted::fault

@@ -1,0 +1,94 @@
+// Monte Carlo fault-injection campaign (paper §IV-C).
+//
+// Methodology, mirrored from the paper:
+//   * profile the binary (a golden run) to learn its dynamic instruction
+//     count, cycle count, reference output and exit code;
+//   * per trial, pick a random dynamic instruction, pick one of its output
+//     registers, flip one random bit of it;
+//   * fixed error *rate*: binaries with error detection are longer than the
+//     original, so they receive one error per `originalDefInsns` dynamic
+//     instructions of their own execution (≈2.4 errors per run at the
+//     paper's 2.4x code growth) rather than one per run;
+//   * classify each trial into the paper's five outcome classes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "arch/machine_config.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace casted::fault {
+
+// The five outcome classes of Fig. 9/10.
+enum class Outcome : std::uint8_t {
+  kBenign,       // same output and exit code as the golden run
+  kDetected,     // a CHECK fired
+  kException,    // hardware trap (kept separate, as in the paper)
+  kDataCorrupt,  // wrong output, undetected — the bad case
+  kTimeout,      // watchdog expired
+};
+inline constexpr std::size_t kOutcomeCount = 5;
+
+const char* outcomeName(Outcome outcome);
+
+struct CoverageReport {
+  std::array<std::uint64_t, kOutcomeCount> counts = {};
+  std::uint64_t trials = 0;
+
+  double fraction(Outcome outcome) const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(
+                             counts[static_cast<int>(outcome)]) /
+                             static_cast<double>(trials);
+  }
+  // Detected + exception + benign + timeout, i.e. everything except silent
+  // data corruption.
+  double safeFraction() const { return 1.0 - fraction(Outcome::kDataCorrupt); }
+};
+
+struct CampaignOptions {
+  std::uint32_t trials = 300;  // the paper's Monte Carlo repetition count
+  std::uint64_t seed = 0xCA57EDu;
+  // Dynamic def-producing instruction count of the ORIGINAL (NOED) binary;
+  // sets the fixed error rate.  0 means "use the injected binary's own
+  // count" (exactly one expected error per run).
+  std::uint64_t originalDefInsns = 0;
+  // Watchdog: a faulty run is declared a timeout after
+  // goldenCycles * timeoutFactor cycles.
+  std::uint64_t timeoutFactor = 20;
+  sim::SimOptions simOptions;
+};
+
+// Profile of the golden (fault-free) run.
+struct GoldenProfile {
+  sim::RunResult result;
+  std::uint64_t defInsns = 0;  // fault-target population
+  std::uint64_t cycles = 0;
+};
+
+// Runs the golden execution once.
+GoldenProfile profileGolden(const ir::Program& program,
+                            const sched::ProgramSchedule& schedule,
+                            const arch::MachineConfig& config,
+                            const sim::SimOptions& simOptions);
+
+// Classifies one faulty run against the golden profile.
+Outcome classify(const sim::RunResult& faulty, const GoldenProfile& golden);
+
+// Generates the injection plan for one trial: the number of flips follows
+// the fixed error rate (>= 1), each targeting a uniformly random dynamic
+// def-producing instruction, output register and bit.
+sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
+                             std::uint64_t originalDefInsns);
+
+// Runs the full campaign.
+CoverageReport runCampaign(const ir::Program& program,
+                           const sched::ProgramSchedule& schedule,
+                           const arch::MachineConfig& config,
+                           const CampaignOptions& options = {});
+
+}  // namespace casted::fault

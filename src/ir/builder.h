@@ -1,0 +1,147 @@
+// IrBuilder: the fluent construction API used by the workloads, the tests
+// and the examples.
+//
+// The builder is bound to one Function and appends to a current block.  All
+// emitters return the freshly defined register so code reads like
+// expression-oriented pseudocode:
+//
+//   IrBuilder b(fn);
+//   Reg base = b.movImm(prog.symbol("input").address);
+//   Reg x = b.load(base, 0);
+//   Reg y = b.addImm(x, 42);
+//   b.store(base, 8, y);
+//   b.halt(b.movImm(0));
+#pragma once
+
+#include <initializer_list>
+#include <span>
+
+#include "ir/function.h"
+
+namespace casted::ir {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Function& fn) : fn_(fn) {}
+
+  Function& function() { return fn_; }
+
+  // --- block management -------------------------------------------------
+  BasicBlock& createBlock(std::string name);
+  void setBlock(BasicBlock& block) { current_ = &block; }
+  void setBlock(BlockId id) { current_ = &fn_.block(id); }
+  BasicBlock& currentBlock();
+
+  // --- generic emitter ----------------------------------------------------
+  // Appends an instruction; returns a reference valid until the next append
+  // to the same block.
+  Instruction& emit(Opcode op, std::vector<Reg> defs, std::vector<Reg> uses);
+
+  // --- writes to existing registers (loop-carried variables) ---------------
+  // dst = src, dispatching on the register class.
+  void movTo(Reg dst, Reg src);
+  // dst = imm (GP only).
+  void movImmTo(Reg dst, std::int64_t imm);
+  // dst = src + imm (GP only) — the idiom for induction variables.
+  void addImmTo(Reg dst, Reg src, std::int64_t imm);
+  // dst = op(a, b) for any fixed-arity two-operand opcode.
+  void binaryTo(Opcode op, Reg dst, Reg a, Reg b);
+
+  // --- integer ------------------------------------------------------------
+  Reg movImm(std::int64_t value);
+  Reg mov(Reg src);
+  Reg add(Reg a, Reg b) { return binary(Opcode::kAdd, a, b); }
+  Reg sub(Reg a, Reg b) { return binary(Opcode::kSub, a, b); }
+  Reg mul(Reg a, Reg b) { return binary(Opcode::kMul, a, b); }
+  Reg div(Reg a, Reg b) { return binary(Opcode::kDiv, a, b); }
+  Reg rem(Reg a, Reg b) { return binary(Opcode::kRem, a, b); }
+  Reg and_(Reg a, Reg b) { return binary(Opcode::kAnd, a, b); }
+  Reg or_(Reg a, Reg b) { return binary(Opcode::kOr, a, b); }
+  Reg xor_(Reg a, Reg b) { return binary(Opcode::kXor, a, b); }
+  Reg shl(Reg a, Reg b) { return binary(Opcode::kShl, a, b); }
+  Reg shr(Reg a, Reg b) { return binary(Opcode::kShr, a, b); }
+  Reg sra(Reg a, Reg b) { return binary(Opcode::kSra, a, b); }
+  Reg min(Reg a, Reg b) { return binary(Opcode::kMin, a, b); }
+  Reg max(Reg a, Reg b) { return binary(Opcode::kMax, a, b); }
+  Reg addImm(Reg a, std::int64_t imm) { return unaryImm(Opcode::kAddImm, a, imm); }
+  Reg mulImm(Reg a, std::int64_t imm) { return unaryImm(Opcode::kMulImm, a, imm); }
+  Reg andImm(Reg a, std::int64_t imm) { return unaryImm(Opcode::kAndImm, a, imm); }
+  Reg shlImm(Reg a, std::int64_t imm) { return unaryImm(Opcode::kShlImm, a, imm); }
+  Reg shrImm(Reg a, std::int64_t imm) { return unaryImm(Opcode::kShrImm, a, imm); }
+  Reg sraImm(Reg a, std::int64_t imm) { return unaryImm(Opcode::kSraImm, a, imm); }
+  Reg neg(Reg a) { return unary(Opcode::kNeg, a); }
+  Reg abs(Reg a) { return unary(Opcode::kAbs, a); }
+  Reg not_(Reg a) { return unary(Opcode::kNot, a); }
+  Reg select(Reg pred, Reg a, Reg b);
+
+  // --- compares (define a predicate) ---------------------------------------
+  Reg cmpEq(Reg a, Reg b) { return compare(Opcode::kCmpEq, a, b); }
+  Reg cmpNe(Reg a, Reg b) { return compare(Opcode::kCmpNe, a, b); }
+  Reg cmpLt(Reg a, Reg b) { return compare(Opcode::kCmpLt, a, b); }
+  Reg cmpLe(Reg a, Reg b) { return compare(Opcode::kCmpLe, a, b); }
+  Reg cmpGt(Reg a, Reg b) { return compare(Opcode::kCmpGt, a, b); }
+  Reg cmpGe(Reg a, Reg b) { return compare(Opcode::kCmpGe, a, b); }
+  Reg cmpEqImm(Reg a, std::int64_t imm) { return compareImm(Opcode::kCmpEqImm, a, imm); }
+  Reg cmpNeImm(Reg a, std::int64_t imm) { return compareImm(Opcode::kCmpNeImm, a, imm); }
+  Reg cmpLtImm(Reg a, std::int64_t imm) { return compareImm(Opcode::kCmpLtImm, a, imm); }
+  Reg cmpLeImm(Reg a, std::int64_t imm) { return compareImm(Opcode::kCmpLeImm, a, imm); }
+  Reg cmpGtImm(Reg a, std::int64_t imm) { return compareImm(Opcode::kCmpGtImm, a, imm); }
+  Reg cmpGeImm(Reg a, std::int64_t imm) { return compareImm(Opcode::kCmpGeImm, a, imm); }
+
+  // --- predicates ----------------------------------------------------------
+  Reg pMov(Reg p) { return unary(Opcode::kPMov, p); }
+  Reg pNot(Reg p) { return unary(Opcode::kPNot, p); }
+  Reg pAnd(Reg a, Reg b) { return binary(Opcode::kPAnd, a, b); }
+  Reg pOr(Reg a, Reg b) { return binary(Opcode::kPOr, a, b); }
+  Reg pXor(Reg a, Reg b) { return binary(Opcode::kPXor, a, b); }
+  Reg pSetImm(bool value);
+
+  // --- floating point --------------------------------------------------------
+  Reg fMovImm(double value);
+  Reg fMov(Reg a) { return unary(Opcode::kFMov, a); }
+  Reg fAdd(Reg a, Reg b) { return binary(Opcode::kFAdd, a, b); }
+  Reg fSub(Reg a, Reg b) { return binary(Opcode::kFSub, a, b); }
+  Reg fMul(Reg a, Reg b) { return binary(Opcode::kFMul, a, b); }
+  Reg fDiv(Reg a, Reg b) { return binary(Opcode::kFDiv, a, b); }
+  Reg fMin(Reg a, Reg b) { return binary(Opcode::kFMin, a, b); }
+  Reg fMax(Reg a, Reg b) { return binary(Opcode::kFMax, a, b); }
+  Reg fNeg(Reg a) { return unary(Opcode::kFNeg, a); }
+  Reg fAbs(Reg a) { return unary(Opcode::kFAbs, a); }
+  Reg fSqrt(Reg a) { return unary(Opcode::kFSqrt, a); }
+  Reg fCmpEq(Reg a, Reg b) { return compare(Opcode::kFCmpEq, a, b); }
+  Reg fCmpLt(Reg a, Reg b) { return compare(Opcode::kFCmpLt, a, b); }
+  Reg fCmpLe(Reg a, Reg b) { return compare(Opcode::kFCmpLe, a, b); }
+  Reg i2f(Reg g) { return unary(Opcode::kI2F, g); }
+  Reg f2i(Reg f) { return unary(Opcode::kF2I, f); }
+
+  // --- memory ----------------------------------------------------------------
+  Reg load(Reg base, std::int64_t offset);
+  Reg loadB(Reg base, std::int64_t offset);
+  Reg fLoad(Reg base, std::int64_t offset);
+  void store(Reg base, std::int64_t offset, Reg value);
+  void storeB(Reg base, std::int64_t offset, Reg value);
+  void fStore(Reg base, std::int64_t offset, Reg value);
+
+  // --- control flow ------------------------------------------------------------
+  void br(const BasicBlock& target);
+  void brCond(Reg pred, const BasicBlock& taken, const BasicBlock& notTaken);
+  // Calls `callee` with `args`; returns the registers holding its results.
+  std::vector<Reg> call(const Function& callee, std::span<const Reg> args);
+  std::vector<Reg> call(const Function& callee,
+                        std::initializer_list<Reg> args);
+  void ret(std::span<const Reg> values);
+  void ret(std::initializer_list<Reg> values = {});
+  void halt(Reg exitCode);
+
+ private:
+  Reg binary(Opcode op, Reg a, Reg b);
+  Reg unary(Opcode op, Reg a);
+  Reg unaryImm(Opcode op, Reg a, std::int64_t imm);
+  Reg compare(Opcode op, Reg a, Reg b);
+  Reg compareImm(Opcode op, Reg a, std::int64_t imm);
+
+  Function& fn_;
+  BasicBlock* current_ = nullptr;
+};
+
+}  // namespace casted::ir

@@ -1,0 +1,144 @@
+#include "ir/function.h"
+
+#include "support/check.h"
+
+namespace casted::ir {
+
+const Instruction& BasicBlock::terminator() const {
+  CASTED_CHECK(!insns_.empty()) << "block bb" << id_ << " is empty";
+  const Instruction& last = insns_.back();
+  CASTED_CHECK(last.isTerminator())
+      << "block bb" << id_ << " does not end in a terminator";
+  return last;
+}
+
+std::vector<BlockId> BasicBlock::successors() const {
+  const Instruction& term = terminator();
+  switch (term.op) {
+    case Opcode::kBr:
+      return {term.target};
+    case Opcode::kBrCond:
+      return {term.target, term.target2};
+    default:
+      return {};
+  }
+}
+
+BasicBlock& Function::addBlock(std::string name) {
+  const BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.emplace_back(id, std::move(name));
+  return blocks_.back();
+}
+
+BasicBlock& Function::block(BlockId id) {
+  CASTED_CHECK(id < blocks_.size())
+      << "bad block id " << id << " in @" << name_;
+  return blocks_[id];
+}
+
+const BasicBlock& Function::block(BlockId id) const {
+  CASTED_CHECK(id < blocks_.size())
+      << "bad block id " << id << " in @" << name_;
+  return blocks_[id];
+}
+
+BasicBlock& Function::entry() { return block(0); }
+const BasicBlock& Function::entry() const { return block(0); }
+
+Reg Function::newReg(RegClass cls) {
+  return Reg(cls, nextReg_[static_cast<int>(cls)]++);
+}
+
+std::uint32_t Function::regCount(RegClass cls) const {
+  return nextReg_[static_cast<int>(cls)];
+}
+
+void Function::reserveRegsAtLeast(RegClass cls, std::uint32_t count) {
+  auto& next = nextReg_[static_cast<int>(cls)];
+  next = std::max(next, count);
+}
+
+std::size_t Function::insnCount() const {
+  std::size_t count = 0;
+  for (const BasicBlock& block : blocks_) {
+    count += block.insns().size();
+  }
+  return count;
+}
+
+Function& Program::addFunction(std::string name) {
+  const FuncId id = static_cast<FuncId>(funcs_.size());
+  funcs_.emplace_back(id, std::move(name));
+  if (entry_ == kInvalidFunc) {
+    entry_ = id;
+  }
+  return funcs_.back();
+}
+
+Function& Program::function(FuncId id) {
+  CASTED_CHECK(id < funcs_.size()) << "bad function id " << id;
+  return funcs_[id];
+}
+
+const Function& Program::function(FuncId id) const {
+  CASTED_CHECK(id < funcs_.size()) << "bad function id " << id;
+  return funcs_[id];
+}
+
+Function* Program::findFunction(const std::string& name) {
+  for (Function& func : funcs_) {
+    if (func.name() == name) {
+      return &func;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t Program::allocateGlobal(const std::string& name,
+                                      std::uint64_t size) {
+  CASTED_CHECK(!hasSymbol(name)) << "duplicate global symbol " << name;
+  // Keep every symbol 8-byte aligned so 64-bit accesses are aligned.
+  while (image_.size() % 8 != 0) {
+    image_.push_back(0);
+  }
+  const std::uint64_t address = kGlobalBase + image_.size();
+  image_.resize(image_.size() + size, 0);
+  symbols_.push_back({name, address, size});
+  return address;
+}
+
+std::uint64_t Program::allocateGlobal(const std::string& name,
+                                      const std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t address = allocateGlobal(name, bytes.size());
+  std::copy(bytes.begin(), bytes.end(),
+            image_.begin() + static_cast<std::ptrdiff_t>(address - kGlobalBase));
+  return address;
+}
+
+const GlobalSymbol& Program::symbol(const std::string& name) const {
+  for (const GlobalSymbol& sym : symbols_) {
+    if (sym.name == name) {
+      return sym;
+    }
+  }
+  throw FatalError("unknown global symbol: " + name);
+}
+
+bool Program::hasSymbol(const std::string& name) const {
+  for (const GlobalSymbol& sym : symbols_) {
+    if (sym.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Program::insnCount() const {
+  std::size_t count = 0;
+  for (const Function& func : funcs_) {
+    count += func.insnCount();
+  }
+  return count;
+}
+
+}  // namespace casted::ir

@@ -1,0 +1,77 @@
+#include "ir/instruction.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace casted::ir {
+
+const char* insnOriginName(InsnOrigin origin) {
+  switch (origin) {
+    case InsnOrigin::kOriginal:
+      return "original";
+    case InsnOrigin::kDuplicate:
+      return "duplicate";
+    case InsnOrigin::kCheck:
+      return "check";
+    case InsnOrigin::kCopy:
+      return "copy";
+    case InsnOrigin::kSpill:
+      return "spill";
+  }
+  CASTED_UNREACHABLE("bad InsnOrigin");
+}
+
+std::string Instruction::toString() const {
+  const OpcodeInfo& meta = info();
+  std::ostringstream out;
+  if (!defs.empty()) {
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      if (i != 0) {
+        out << ", ";
+      }
+      out << defs[i].toString();
+    }
+    out << " = ";
+  }
+  out << meta.name;
+  bool first = true;
+  auto comma = [&] {
+    out << (first ? " " : ", ");
+    first = false;
+  };
+  if (meta.isLoad) {
+    comma();
+    out << '[' << uses[0].toString() << '+' << imm << ']';
+  } else if (meta.isStore) {
+    comma();
+    out << '[' << uses[0].toString() << '+' << imm << "], "
+        << uses[1].toString();
+  } else {
+    for (const Reg& use : uses) {
+      comma();
+      out << use.toString();
+    }
+    if (meta.hasImm) {
+      comma();
+      out << imm;
+    }
+    if (meta.hasFpImm) {
+      comma();
+      out << fimm;
+    }
+  }
+  if (op == Opcode::kBr) {
+    comma();
+    out << "bb" << target;
+  } else if (op == Opcode::kBrCond) {
+    comma();
+    out << "bb" << target << ", bb" << target2;
+  } else if (op == Opcode::kCall) {
+    comma();
+    out << "@fn" << callee;
+  }
+  return out.str();
+}
+
+}  // namespace casted::ir

@@ -1,0 +1,86 @@
+// Instruction, the unit everything in CASTED operates on.
+//
+// Instructions carry, besides opcode and operands, the bookkeeping the
+// paper's passes need: the origin tag (original / duplicate / check / copy /
+// spill — Algorithm 1 must skip compiler-generated code when replicating),
+// the duplicate link (the Replicated Instructions Table of Fig. 4a collapses
+// to a per-instruction field), the guard link for checks, and the cluster
+// chosen by the assignment pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "ir/reg.h"
+
+namespace casted::ir {
+
+using InsnId = std::uint32_t;
+using BlockId = std::uint32_t;
+using FuncId = std::uint32_t;
+
+inline constexpr InsnId kInvalidInsn = 0xffffffffu;
+inline constexpr BlockId kInvalidBlock = 0xffffffffu;
+inline constexpr FuncId kInvalidFunc = 0xffffffffu;
+
+// Why an instruction exists.  Algorithm 1 replicates only kOriginal
+// instructions; kCheck/kCopy/kSpill are the paper's "compiler-generated"
+// category.
+enum class InsnOrigin : std::uint8_t {
+  kOriginal,   // came from the source program
+  kDuplicate,  // emitted by replicate_insns
+  kCheck,      // emitted by emit_check_insns
+  kCopy,       // shadow-copy for non-duplicated defs (Alg. 1 lines 34-37)
+  kSpill,      // emitted by the register-pressure pass
+};
+
+const char* insnOriginName(InsnOrigin origin);
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  InsnId id = kInvalidInsn;
+
+  std::vector<Reg> defs;
+  std::vector<Reg> uses;
+
+  std::int64_t imm = 0;   // integer immediate / memory offset
+  double fimm = 0.0;      // FP immediate (kFMovImm)
+
+  BlockId target = kInvalidBlock;   // kBr / kBrCond taken target
+  BlockId target2 = kInvalidBlock;  // kBrCond not-taken target
+  FuncId callee = kInvalidFunc;     // kCall
+
+  InsnOrigin origin = InsnOrigin::kOriginal;
+  InsnId duplicateOf = kInvalidInsn;  // set on kDuplicate instructions
+  InsnId guard = kInvalidInsn;        // on checks: the guarded instruction
+
+  int cluster = 0;  // assignment-pass result
+
+  const OpcodeInfo& info() const { return opcodeInfo(op); }
+
+  bool isTerminator() const { return info().isTerminator; }
+  bool isCheck() const { return info().isCheck; }
+  bool isLoad() const { return info().isLoad; }
+  bool isStore() const { return info().isStore; }
+  bool isMemory() const { return isLoad() || isStore(); }
+  bool isCall() const { return op == Opcode::kCall; }
+
+  // True when Algorithm 1 would emit a duplicate for this instruction:
+  // replicable opcode and not itself compiler-generated.
+  bool isReplicable() const {
+    return isReplicableOpcode(op) && origin == InsnOrigin::kOriginal;
+  }
+
+  // "Non-replicated" in the paper's sense: instructions that stay single and
+  // therefore get their inputs checked (stores, control flow, calls).
+  bool isNonReplicated() const {
+    return !isReplicableOpcode(op) && !isCheck() && op != Opcode::kNop;
+  }
+
+  // Renders like "g3 = add g1, g2" (without trailing newline).
+  std::string toString() const;
+};
+
+}  // namespace casted::ir

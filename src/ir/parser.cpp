@@ -1,0 +1,554 @@
+#include "ir/parser.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace casted::ir {
+namespace {
+
+// One source line split into tokens.  Punctuation characters are single
+// tokens; identifiers/numbers are maximal runs.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ';') {
+      break;  // comment to end of line
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (std::string_view("[](){},:=!+").find(c) != std::string_view::npos) {
+      tokens.emplace_back(1, c);
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+      tokens.emplace_back("->");
+      i += 2;
+      continue;
+    }
+    // Identifier or number (possibly negative / fractional / exponent).
+    std::size_t j = i;
+    while (j < line.size() &&
+           std::string_view(" \t\r;[](){},:=!").find(line[j]) ==
+               std::string_view::npos) {
+      // '+' terminates tokens except inside an exponent like 1e+05.
+      if (line[j] == '+' && !(j > i && (line[j - 1] == 'e' ||
+                                        line[j - 1] == 'E'))) {
+        break;
+      }
+      ++j;
+    }
+    tokens.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+struct PendingInsn {
+  Instruction insn;
+  BlockId block;
+  bool hasExplicitId = false;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Program run() {
+    splitLines();
+    prescanFunctions();
+    parseAll();
+    return std::move(program_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw FatalError("IR parse error at line " + std::to_string(lineNo_) +
+                     ": " + message);
+  }
+
+  void splitLines() {
+    std::size_t start = 0;
+    while (start <= text_.size()) {
+      const std::size_t end = text_.find('\n', start);
+      if (end == std::string_view::npos) {
+        lines_.push_back(text_.substr(start));
+        break;
+      }
+      lines_.push_back(text_.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+
+  // Creates all functions up front so calls can reference later functions.
+  void prescanFunctions() {
+    for (std::string_view line : lines_) {
+      const std::vector<std::string> tokens = tokenize(line);
+      if (tokens.size() >= 2 && tokens[0] == "func") {
+        std::string name = tokens[1];
+        if (name.empty() || name[0] != '@') {
+          continue;  // reported during the main pass
+        }
+        name.erase(0, 1);
+        program_.addFunction(name);
+      }
+    }
+  }
+
+  std::optional<Reg> parseReg(const std::string& token) {
+    if (token.size() < 2) {
+      return std::nullopt;
+    }
+    RegClass cls;
+    switch (token[0]) {
+      case 'g':
+        cls = RegClass::kGp;
+        break;
+      case 'f':
+        cls = RegClass::kFp;
+        break;
+      case 'p':
+        cls = RegClass::kPr;
+        break;
+      default:
+        return std::nullopt;
+    }
+    std::uint32_t index = 0;
+    const char* begin = token.data() + 1;
+    const char* end = token.data() + token.size();
+    auto [ptr, ec] = std::from_chars(begin, end, index);
+    if (ec != std::errc() || ptr != end) {
+      return std::nullopt;
+    }
+    return Reg(cls, index);
+  }
+
+  std::int64_t parseInt(const std::string& token) {
+    std::int64_t value = 0;
+    const char* begin = token.data();
+    const char* end = token.data() + token.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) {
+      fail("expected integer, got '" + token + "'");
+    }
+    return value;
+  }
+
+  std::uint32_t parseUint(const std::string& token) {
+    const std::int64_t value = parseInt(token);
+    if (value < 0) {
+      fail("expected unsigned integer, got '" + token + "'");
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  double parseDouble(const std::string& token) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      fail("expected floating-point number, got '" + token + "'");
+    }
+    return value;
+  }
+
+  BlockId parseBlockRef(const std::string& token) {
+    if (token.size() < 3 || token[0] != 'b' || token[1] != 'b') {
+      fail("expected block reference, got '" + token + "'");
+    }
+    return parseUint(token.substr(2));
+  }
+
+  Reg expectReg(const std::vector<std::string>& tokens, std::size_t& pos) {
+    if (pos >= tokens.size()) {
+      fail("expected register, got end of line");
+    }
+    const std::optional<Reg> reg = parseReg(tokens[pos]);
+    if (!reg) {
+      fail("expected register, got '" + tokens[pos] + "'");
+    }
+    ++pos;
+    return *reg;
+  }
+
+  void expectToken(const std::vector<std::string>& tokens, std::size_t& pos,
+                   const char* expected) {
+    if (pos >= tokens.size() || tokens[pos] != expected) {
+      fail(std::string("expected '") + expected + "'");
+    }
+    ++pos;
+  }
+
+  void skipComma(const std::vector<std::string>& tokens, std::size_t& pos) {
+    if (pos < tokens.size() && tokens[pos] == ",") {
+      ++pos;
+    }
+  }
+
+  void parseAll() {
+    FuncId nextFunc = 0;
+    for (lineNo_ = 1; lineNo_ <= lines_.size(); ++lineNo_) {
+      const std::vector<std::string> tokens = tokenize(lines_[lineNo_ - 1]);
+      if (tokens.empty()) {
+        continue;
+      }
+      if (tokens[0] == "global") {
+        parseGlobal(tokens);
+      } else if (tokens[0] == "func") {
+        currentFn_ = &program_.function(nextFunc++);
+        parseFunctionHeader(tokens);
+      } else if (tokens[0] == "}") {
+        finishFunction();
+      } else if (tokens[0] == "entry") {
+        parseEntry(tokens);
+      } else if (tokens[0].size() > 2 && tokens[0][0] == 'b' &&
+                 tokens[0][1] == 'b' && tokens.size() >= 2 &&
+                 tokens[1] == ":") {
+        parseBlockHeader(tokens);
+      } else {
+        parseInstruction(tokens);
+      }
+    }
+    if (currentFn_ != nullptr) {
+      fail("unterminated function @" + currentFn_->name());
+    }
+  }
+
+  void parseGlobal(const std::vector<std::string>& tokens) {
+    if (currentFn_ != nullptr) {
+      fail("'global' inside a function body");
+    }
+    if (tokens.size() < 3) {
+      fail("usage: global NAME SIZE [= hex bytes...]");
+    }
+    const std::string& name = tokens[1];
+    const std::uint64_t size = parseUint(tokens[2]);
+    if (tokens.size() == 3) {
+      program_.allocateGlobal(name, size);
+      return;
+    }
+    if (tokens[3] != "=") {
+      fail("expected '=' after global size");
+    }
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(size);
+    for (std::size_t i = 4; i < tokens.size(); ++i) {
+      const std::string& hex = tokens[i];
+      if (hex.size() != 2) {
+        fail("expected two-digit hex byte, got '" + hex + "'");
+      }
+      auto nibble = [&](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        fail("bad hex digit in '" + hex + "'");
+      };
+      bytes.push_back(
+          static_cast<std::uint8_t>(nibble(hex[0]) * 16 + nibble(hex[1])));
+    }
+    if (bytes.size() != size) {
+      fail("global byte count does not match declared size");
+    }
+    program_.allocateGlobal(name, bytes);
+  }
+
+  void parseFunctionHeader(const std::vector<std::string>& tokens) {
+    std::size_t pos = 1;
+    if (pos >= tokens.size() || tokens[pos].empty() ||
+        tokens[pos][0] != '@') {
+      fail("expected @name after 'func'");
+    }
+    ++pos;
+    expectToken(tokens, pos, "(");
+    while (pos < tokens.size() && tokens[pos] != ")") {
+      currentFn_->params().push_back(expectReg(tokens, pos));
+      skipComma(tokens, pos);
+    }
+    expectToken(tokens, pos, ")");
+    expectToken(tokens, pos, "->");
+    expectToken(tokens, pos, "(");
+    while (pos < tokens.size() && tokens[pos] != ")") {
+      const std::string& cls = tokens[pos];
+      if (cls == "g") {
+        currentFn_->returnClasses().push_back(RegClass::kGp);
+      } else if (cls == "f") {
+        currentFn_->returnClasses().push_back(RegClass::kFp);
+      } else if (cls == "p") {
+        currentFn_->returnClasses().push_back(RegClass::kPr);
+      } else {
+        fail("expected return class g/f/p, got '" + cls + "'");
+      }
+      ++pos;
+      skipComma(tokens, pos);
+    }
+    expectToken(tokens, pos, ")");
+    if (pos < tokens.size() && tokens[pos] == "unprotected") {
+      currentFn_->setProtected(false);
+      ++pos;
+    }
+    expectToken(tokens, pos, "{");
+    currentBlock_ = kInvalidBlock;
+    pending_.clear();
+    for (const Reg& param : currentFn_->params()) {
+      noteReg(param);
+    }
+  }
+
+  void parseBlockHeader(const std::vector<std::string>& tokens) {
+    if (currentFn_ == nullptr) {
+      fail("block label outside a function");
+    }
+    const BlockId id = parseBlockRef(tokens[0]);
+    if (id != currentFn_->blockCount()) {
+      fail("block labels must be sequential; expected bb" +
+           std::to_string(currentFn_->blockCount()));
+    }
+    // The printer may append "; name" which tokenize() strips as a comment;
+    // recover it for debuggability.
+    std::string name = "bb" + std::to_string(id);
+    const std::string_view line = lines_[lineNo_ - 1];
+    const std::size_t semi = line.find(';');
+    if (semi != std::string_view::npos) {
+      std::size_t start = semi + 1;
+      while (start < line.size() && line[start] == ' ') {
+        ++start;
+      }
+      std::size_t end = line.size();
+      while (end > start && (line[end - 1] == ' ' || line[end - 1] == '\r')) {
+        --end;
+      }
+      if (end > start) {
+        name = std::string(line.substr(start, end - start));
+      }
+    }
+    currentFn_->addBlock(name);
+    currentBlock_ = id;
+  }
+
+  void noteReg(Reg reg) {
+    currentFn_->reserveRegsAtLeast(reg.cls, reg.index + 1);
+  }
+
+  void parseInstruction(const std::vector<std::string>& tokens) {
+    if (currentFn_ == nullptr) {
+      fail("instruction outside a function");
+    }
+    if (currentBlock_ == kInvalidBlock) {
+      fail("instruction before the first block label");
+    }
+    PendingInsn pending;
+    pending.block = currentBlock_;
+    Instruction& insn = pending.insn;
+
+    std::size_t pos = 0;
+    // Optional defs: a register list followed by '='.
+    {
+      std::size_t probe = 0;
+      std::vector<Reg> defs;
+      while (probe < tokens.size()) {
+        const std::optional<Reg> reg = parseReg(tokens[probe]);
+        if (!reg) {
+          break;
+        }
+        defs.push_back(*reg);
+        ++probe;
+        if (probe < tokens.size() && tokens[probe] == ",") {
+          ++probe;
+          continue;
+        }
+        break;
+      }
+      if (!defs.empty() && probe < tokens.size() && tokens[probe] == "=") {
+        insn.defs = std::move(defs);
+        pos = probe + 1;
+      }
+    }
+    if (pos >= tokens.size()) {
+      fail("missing mnemonic");
+    }
+    const Opcode op = opcodeFromName(tokens[pos]);
+    if (op == Opcode::kOpcodeCount) {
+      fail("unknown mnemonic '" + tokens[pos] + "'");
+    }
+    insn.op = op;
+    ++pos;
+    const OpcodeInfo& meta = opcodeInfo(op);
+
+    auto parseAddress = [&] {
+      expectToken(tokens, pos, "[");
+      insn.uses.push_back(expectReg(tokens, pos));
+      expectToken(tokens, pos, "+");
+      if (pos >= tokens.size()) {
+        fail("expected offset");
+      }
+      insn.imm = parseInt(tokens[pos++]);
+      expectToken(tokens, pos, "]");
+    };
+
+    if (meta.isLoad) {
+      parseAddress();
+    } else if (meta.isStore) {
+      parseAddress();
+      skipComma(tokens, pos);
+      insn.uses.push_back(expectReg(tokens, pos));
+    } else if (op == Opcode::kBr) {
+      insn.target = parseBlockRef(tokens[pos++]);
+    } else if (op == Opcode::kBrCond) {
+      insn.uses.push_back(expectReg(tokens, pos));
+      skipComma(tokens, pos);
+      insn.target = parseBlockRef(tokens[pos++]);
+      skipComma(tokens, pos);
+      insn.target2 = parseBlockRef(tokens[pos++]);
+    } else {
+      // Register uses, then immediates, then a call target.
+      while (pos < tokens.size() && tokens[pos] != "!" ) {
+        if (tokens[pos] == ",") {
+          ++pos;
+          continue;
+        }
+        const std::optional<Reg> reg = parseReg(tokens[pos]);
+        if (reg && !(meta.hasImm && insn.uses.size() == meta.useCount) ) {
+          insn.uses.push_back(*reg);
+          ++pos;
+          continue;
+        }
+        break;
+      }
+      if (meta.hasImm) {
+        if (pos >= tokens.size()) {
+          fail("expected immediate");
+        }
+        insn.imm = parseInt(tokens[pos++]);
+      }
+      if (meta.hasFpImm) {
+        if (pos >= tokens.size()) {
+          fail("expected FP immediate");
+        }
+        insn.fimm = parseDouble(tokens[pos++]);
+      }
+      if (op == Opcode::kCall) {
+        if (pos >= tokens.size() || tokens[pos].empty() ||
+            tokens[pos][0] != '@') {
+          fail("expected @callee");
+        }
+        std::string name = tokens[pos].substr(1);
+        Function* callee = program_.findFunction(name);
+        if (callee == nullptr) {
+          fail("call to unknown function @" + name);
+        }
+        insn.callee = callee->id();
+        ++pos;
+      }
+    }
+
+    if (meta.isCheck) {
+      insn.origin = InsnOrigin::kCheck;
+    }
+
+    // Trailing annotations.
+    while (pos < tokens.size()) {
+      if (tokens[pos] != "!") {
+        fail("unexpected token '" + tokens[pos] + "'");
+      }
+      ++pos;
+      if (pos >= tokens.size()) {
+        fail("dangling '!'");
+      }
+      const std::string key = tokens[pos++];
+      auto readValue = [&]() -> std::uint32_t {
+        expectToken(tokens, pos, "=");
+        if (pos >= tokens.size()) {
+          fail("annotation !" + key + " needs a value");
+        }
+        return parseUint(tokens[pos++]);
+      };
+      if (key == "id") {
+        insn.id = readValue();
+        pending.hasExplicitId = true;
+      } else if (key == "dup") {
+        insn.origin = InsnOrigin::kDuplicate;
+        insn.duplicateOf = readValue();
+      } else if (key == "guard") {
+        insn.origin = InsnOrigin::kCheck;
+        insn.guard = readValue();
+      } else if (key == "check") {
+        insn.origin = InsnOrigin::kCheck;
+      } else if (key == "copy") {
+        insn.origin = InsnOrigin::kCopy;
+      } else if (key == "spill") {
+        insn.origin = InsnOrigin::kSpill;
+      } else if (key == "c") {
+        insn.cluster = static_cast<int>(readValue());
+      } else {
+        fail("unknown annotation !" + key);
+      }
+    }
+
+    for (const Reg& def : insn.defs) {
+      noteReg(def);
+    }
+    for (const Reg& use : insn.uses) {
+      noteReg(use);
+    }
+    pending_.push_back(std::move(pending));
+  }
+
+  void finishFunction() {
+    if (currentFn_ == nullptr) {
+      fail("'}' outside a function");
+    }
+    // Assign ids: explicit ones are kept, the rest get fresh ids above the
+    // maximum explicit id.
+    std::uint32_t maxId = 0;
+    for (const PendingInsn& pending : pending_) {
+      if (pending.hasExplicitId) {
+        maxId = std::max(maxId, pending.insn.id + 1);
+      }
+    }
+    currentFn_->reserveInsnIdsAtLeast(maxId);
+    for (PendingInsn& pending : pending_) {
+      if (!pending.hasExplicitId) {
+        pending.insn.id = currentFn_->newInsnId();
+      }
+      currentFn_->block(pending.block).insns().push_back(
+          std::move(pending.insn));
+    }
+    pending_.clear();
+    currentFn_ = nullptr;
+    currentBlock_ = kInvalidBlock;
+  }
+
+  void parseEntry(const std::vector<std::string>& tokens) {
+    if (tokens.size() < 2 || tokens[1].empty() || tokens[1][0] != '@') {
+      fail("usage: entry @name");
+    }
+    Function* fn = program_.findFunction(tokens[1].substr(1));
+    if (fn == nullptr) {
+      fail("entry references unknown function " + tokens[1]);
+    }
+    program_.setEntryFunction(fn->id());
+  }
+
+  std::string_view text_;
+  std::vector<std::string_view> lines_;
+  std::size_t lineNo_ = 0;
+  Program program_;
+  Function* currentFn_ = nullptr;
+  BlockId currentBlock_ = kInvalidBlock;
+  std::vector<PendingInsn> pending_;
+};
+
+}  // namespace
+
+Program parseProgram(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace casted::ir

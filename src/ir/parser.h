@@ -1,0 +1,19 @@
+// Parser for the textual IR form produced by printer.h.
+//
+// parseProgram(printProgram(p)) reproduces `p` up to instruction-id
+// renumbering of unreferenced instructions; printing again yields identical
+// text (the round-trip property the parser tests rely on).
+#pragma once
+
+#include <string_view>
+
+#include "ir/function.h"
+
+namespace casted::ir {
+
+// Parses a whole program; throws FatalError with a line number on malformed
+// input.  The result is verified structurally by the caller (use
+// verifyOrThrow for full checking).
+Program parseProgram(std::string_view text);
+
+}  // namespace casted::ir

@@ -1,0 +1,197 @@
+#include "ir/printer.h"
+
+#include <iomanip>
+#include <sstream>
+#include <unordered_set>
+
+namespace casted::ir {
+namespace {
+
+// Body of Instruction::toString, but resolving call targets through the
+// program when available.
+void printBody(const Instruction& insn, const Program* program,
+               std::ostringstream& out) {
+  const OpcodeInfo& meta = insn.info();
+  if (!insn.defs.empty()) {
+    for (std::size_t i = 0; i < insn.defs.size(); ++i) {
+      if (i != 0) {
+        out << ", ";
+      }
+      out << insn.defs[i].toString();
+    }
+    out << " = ";
+  }
+  out << meta.name;
+  bool first = true;
+  auto comma = [&] {
+    out << (first ? " " : ", ");
+    first = false;
+  };
+  if (meta.isLoad) {
+    comma();
+    out << '[' << insn.uses[0].toString() << '+' << insn.imm << ']';
+  } else if (meta.isStore) {
+    comma();
+    out << '[' << insn.uses[0].toString() << '+' << insn.imm << "], "
+        << insn.uses[1].toString();
+  } else {
+    for (const Reg& use : insn.uses) {
+      comma();
+      out << use.toString();
+    }
+    if (meta.hasImm) {
+      comma();
+      out << insn.imm;
+    }
+    if (meta.hasFpImm) {
+      comma();
+      // max_digits10 so the parser restores the exact double.
+      out << std::setprecision(17) << insn.fimm;
+    }
+  }
+  if (insn.op == Opcode::kBr) {
+    comma();
+    out << "bb" << insn.target;
+  } else if (insn.op == Opcode::kBrCond) {
+    comma();
+    out << "bb" << insn.target << ", bb" << insn.target2;
+  } else if (insn.op == Opcode::kCall) {
+    comma();
+    if (program != nullptr && insn.callee < program->functionCount()) {
+      out << '@' << program->function(insn.callee).name();
+    } else {
+      out << "@fn" << insn.callee;
+    }
+  }
+}
+
+void printAnnotations(const Instruction& insn, bool printId,
+                      std::ostringstream& out) {
+  if (printId) {
+    out << " !id=" << insn.id;
+  }
+  switch (insn.origin) {
+    case InsnOrigin::kOriginal:
+      break;
+    case InsnOrigin::kDuplicate:
+      out << " !dup=" << insn.duplicateOf;
+      break;
+    case InsnOrigin::kCheck:
+      if (insn.guard != kInvalidInsn) {
+        out << " !guard=" << insn.guard;
+      } else {
+        out << " !check";
+      }
+      break;
+    case InsnOrigin::kCopy:
+      out << " !copy";
+      break;
+    case InsnOrigin::kSpill:
+      out << " !spill";
+      break;
+  }
+  if (insn.cluster != 0) {
+    out << " !c=" << insn.cluster;
+  }
+}
+
+// Ids referenced by !dup/!guard links somewhere in the function; these need
+// explicit !id annotations to survive the round trip.
+std::unordered_set<InsnId> referencedIds(const Function& fn) {
+  std::unordered_set<InsnId> ids;
+  for (BlockId b = 0; b < fn.blockCount(); ++b) {
+    for (const Instruction& insn : fn.block(b).insns()) {
+      if (insn.duplicateOf != kInvalidInsn) {
+        ids.insert(insn.duplicateOf);
+      }
+      if (insn.guard != kInvalidInsn) {
+        ids.insert(insn.guard);
+      }
+    }
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::string printInstruction(const Instruction& insn, const Program* program,
+                             bool printId) {
+  std::ostringstream out;
+  printBody(insn, program, out);
+  printAnnotations(insn, printId, out);
+  return out.str();
+}
+
+std::string printFunction(const Function& fn, const Program* program) {
+  const std::unordered_set<InsnId> withIds = referencedIds(fn);
+  std::ostringstream out;
+  out << "func @" << fn.name() << '(';
+  for (std::size_t i = 0; i < fn.params().size(); ++i) {
+    if (i != 0) {
+      out << ", ";
+    }
+    out << fn.params()[i].toString();
+  }
+  out << ") -> (";
+  for (std::size_t i = 0; i < fn.returnClasses().size(); ++i) {
+    if (i != 0) {
+      out << ", ";
+    }
+    out << regClassPrefix(fn.returnClasses()[i]);
+  }
+  out << ')';
+  if (!fn.isProtected()) {
+    out << " unprotected";
+  }
+  out << " {\n";
+  for (BlockId b = 0; b < fn.blockCount(); ++b) {
+    const BasicBlock& block = fn.block(b);
+    out << "bb" << b << ':';
+    if (!block.name().empty() && block.name() != "bb" + std::to_string(b)) {
+      out << " ; " << block.name();
+    }
+    out << '\n';
+    for (const Instruction& insn : block.insns()) {
+      out << "  "
+          << printInstruction(insn, program, withIds.contains(insn.id))
+          << '\n';
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string printProgram(const Program& program) {
+  std::ostringstream out;
+  for (const GlobalSymbol& sym : program.symbols()) {
+    out << "global " << sym.name << ' ' << sym.size;
+    const auto& image = program.globalImage();
+    const std::size_t begin = sym.address - Program::kGlobalBase;
+    bool nonZero = false;
+    for (std::uint64_t i = 0; i < sym.size; ++i) {
+      if (image[begin + i] != 0) {
+        nonZero = true;
+        break;
+      }
+    }
+    if (nonZero) {
+      out << " =";
+      static const char* kHex = "0123456789abcdef";
+      for (std::uint64_t i = 0; i < sym.size; ++i) {
+        const std::uint8_t byte = image[begin + i];
+        out << ' ' << kHex[byte >> 4] << kHex[byte & 0xf];
+      }
+    }
+    out << '\n';
+  }
+  for (FuncId f = 0; f < program.functionCount(); ++f) {
+    out << printFunction(program.function(f), &program);
+  }
+  if (program.functionCount() > 0) {
+    out << "entry @" << program.function(program.entryFunction()).name()
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace casted::ir

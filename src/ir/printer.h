@@ -1,0 +1,41 @@
+// Textual IR form.
+//
+// The printer/parser pair round-trips every Program, including the metadata
+// the passes attach (origin tags, duplicate links, check guards, cluster
+// assignments), rendered as trailing `!key=value` annotations.  Instructions
+// referenced by a link (`!dup=` / `!guard=`) carry an explicit `!id=N`
+// annotation; all other instruction ids are implicit.
+//
+//   func @main() -> () {
+//   bb0:
+//     g0 = movi 4096
+//     g1 = load [g0+0] !id=1
+//     g2 = load [g0+0] !dup=1
+//     chk g1, g2 !guard=4
+//     store [g0+8], g1 !id=4
+//     halt g0
+//   }
+//   entry @main
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace casted::ir {
+
+// Renders one instruction with its annotations (no newline).  When `program`
+// is non-null, call targets print as `@name`; otherwise as `@fn<id>`.
+// `printId` forces an `!id=` annotation.
+std::string printInstruction(const Instruction& insn,
+                             const Program* program = nullptr,
+                             bool printId = false);
+
+// Renders a whole function (with `program` for call-target names).
+std::string printFunction(const Function& fn,
+                          const Program* program = nullptr);
+
+// Renders the whole program: globals, then functions, then the entry marker.
+std::string printProgram(const Program& program);
+
+}  // namespace casted::ir

@@ -1,0 +1,26 @@
+#include "ir/reg.h"
+
+#include "support/check.h"
+
+namespace casted::ir {
+
+const char* regClassPrefix(RegClass cls) {
+  switch (cls) {
+    case RegClass::kGp:
+      return "g";
+    case RegClass::kFp:
+      return "f";
+    case RegClass::kPr:
+      return "p";
+  }
+  CASTED_UNREACHABLE("bad RegClass");
+}
+
+std::string Reg::toString() const {
+  if (!valid()) {
+    return "<invalid>";
+  }
+  return std::string(regClassPrefix(cls)) + std::to_string(index);
+}
+
+}  // namespace casted::ir

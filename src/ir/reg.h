@@ -1,0 +1,63 @@
+// Virtual registers.
+//
+// The paper's passes run on GCC RTL with the IA-64 register classes; we keep
+// the three classes of Table I (general-purpose, floating-point, predicate)
+// but use virtual register numbers.  Physical register-file capacity
+// (64 GP / 64 FP / 32 PR per cluster) is modelled by the register-pressure /
+// spill pass rather than by an allocator — see DESIGN.md §6.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace casted::ir {
+
+// The three IA-64 register classes used by the paper's target.
+enum class RegClass : std::uint8_t {
+  kGp,  // 64-bit integer
+  kFp,  // double-precision float
+  kPr,  // 1-bit predicate
+};
+
+// Human-readable class prefix: "g", "f", "p".
+const char* regClassPrefix(RegClass cls);
+
+// A virtual register: class plus index.  Value type, totally ordered so it
+// can key maps.
+struct Reg {
+  RegClass cls = RegClass::kGp;
+  std::uint32_t index = kInvalidIndex;
+
+  static constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+  constexpr Reg() = default;
+  constexpr Reg(RegClass c, std::uint32_t i) : cls(c), index(i) {}
+
+  constexpr bool valid() const { return index != kInvalidIndex; }
+
+  friend constexpr bool operator==(const Reg& a, const Reg& b) {
+    return a.cls == b.cls && a.index == b.index;
+  }
+  friend constexpr bool operator!=(const Reg& a, const Reg& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Reg& a, const Reg& b) {
+    if (a.cls != b.cls) {
+      return static_cast<int>(a.cls) < static_cast<int>(b.cls);
+    }
+    return a.index < b.index;
+  }
+
+  // e.g. "g12", "f3", "p0".
+  std::string toString() const;
+};
+
+}  // namespace casted::ir
+
+template <>
+struct std::hash<casted::ir::Reg> {
+  std::size_t operator()(const casted::ir::Reg& r) const noexcept {
+    return (static_cast<std::size_t>(r.cls) << 32) ^ r.index;
+  }
+};

@@ -1,0 +1,24 @@
+// IR verifier.
+//
+// Catches malformed programs before they reach the passes or the simulator:
+// structural rules (terminators, operand signatures, branch targets, call
+// arity), pass-metadata rules (duplicate/guard links), and a definite-
+// assignment dataflow analysis that proves every register is written on all
+// paths before it is read (the IR has no implicit zero-init).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace casted::ir {
+
+// Returns all diagnostics found (empty means the program is well-formed).
+std::vector<std::string> verify(const Program& program);
+
+// Convenience for call sites that want hard failure: throws FatalError with
+// the first few diagnostics if verify() is non-empty.
+void verifyOrThrow(const Program& program);
+
+}  // namespace casted::ir

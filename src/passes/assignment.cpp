@@ -1,0 +1,260 @@
+#include "passes/assignment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dfg/dfg.h"
+#include "sched/list_scheduler.h"
+#include "sched/reservation_table.h"
+#include "support/check.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::InsnOrigin;
+
+bool isRedundantCode(const Instruction& insn) {
+  return insn.origin == InsnOrigin::kDuplicate ||
+         insn.origin == InsnOrigin::kCheck ||
+         insn.origin == InsnOrigin::kCopy;
+}
+
+void tallyAssignment(const Instruction& insn, AssignmentStats& stats) {
+  ++stats.total;
+  if (insn.cluster != 0) {
+    ++stats.offCluster0;
+  }
+  if (insn.origin == InsnOrigin::kOriginal && insn.cluster != 0) {
+    ++stats.originalsMoved;
+  }
+  if (insn.origin == InsnOrigin::kDuplicate && insn.cluster == 0) {
+    ++stats.duplicatesHome;
+  }
+  if (insn.origin == InsnOrigin::kCheck && insn.cluster != 0) {
+    ++stats.checksMoved;
+  }
+}
+
+// Algorithm 2 on one block.
+class BugAssigner {
+ public:
+  BugAssigner(BasicBlock& block, const arch::MachineConfig& config)
+      : block_(block),
+        config_(config),
+        graph_(block, config),
+        table_(config),
+        issueCycle_(graph_.size(), 0),
+        clusterOf_(graph_.size(), 0),
+        assigned_(graph_.size(), false) {}
+
+  void run() {
+    // Visit in critical-path preference order; the explicit stack below
+    // still guarantees predecessors are placed first (topological order).
+    for (std::uint32_t node : graph_.priorityOrder()) {
+      assign(node);
+    }
+    for (std::uint32_t i = 0; i < graph_.size(); ++i) {
+      block_.insns()[i].cluster = static_cast<int>(clusterOf_[i]);
+    }
+    if (config_.bugPlacementFallback && graph_.size() > 0) {
+      applyPlacementFallbacks();
+    }
+  }
+
+ private:
+  // Iterative version of the paper's recursive bug(node): place all
+  // predecessors (preferring the critical path), then place `node` on the
+  // cluster where it completes earliest.
+  void assign(std::uint32_t root) {
+    if (assigned_[root]) {
+      return;
+    }
+    std::vector<std::uint32_t> stack = {root};
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back();
+      if (assigned_[node]) {
+        stack.pop_back();
+        continue;
+      }
+      // Gather unassigned predecessors, critical path first.
+      std::vector<std::uint32_t> pending;
+      for (const dfg::Edge& edge : graph_.preds(node)) {
+        if (!assigned_[edge.from]) {
+          pending.push_back(edge.from);
+        }
+      }
+      if (!pending.empty()) {
+        std::sort(pending.begin(), pending.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    if (graph_.height(a) != graph_.height(b)) {
+                      return graph_.height(a) > graph_.height(b);
+                    }
+                    return a < b;
+                  });
+        // Push in reverse so the most critical predecessor is handled first.
+        for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+          stack.push_back(*it);
+        }
+        continue;
+      }
+      stack.pop_back();
+      place(node);
+    }
+  }
+
+  // The completion-cycle heuristic (Algorithm 2 line 11): earliest
+  // completion over all clusters.  Ties are broken towards operand locality
+  // (the cluster already holding more of the node's inputs — every operand
+  // left behind is a latent inter-cluster transfer for some later consumer),
+  // then towards the lower cluster index.  The locality tie-break is what
+  // lets BUG collapse to a single-cluster (SCED-like) placement when the
+  // machine is wide enough, instead of scattering operand-free instructions.
+  void place(std::uint32_t node) {
+    const ir::FuClass fuClass = graph_.insn(node).info().fuClass;
+    const std::uint32_t latency = config_.latencyFor(graph_.insn(node).op);
+
+    auto residentOperands = [&](std::uint32_t c) {
+      std::uint32_t count = 0;
+      for (const dfg::Edge& edge : graph_.preds(node)) {
+        if (edge.kind == dfg::DepKind::kData && clusterOf_[edge.from] == c) {
+          ++count;
+        }
+      }
+      return count;
+    };
+
+    // Home cluster: where the plurality of data operands live (defaults to
+    // cluster 0 for operand-free nodes).  Placing a node away from home is
+    // only worth it when the completion gain beats half a round trip — the
+    // result will usually have to travel back to its consumers, which a
+    // bottom-up greedy pass cannot see directly (Bulldog used successor
+    // estimates for the same reason).
+    std::uint32_t home = 0;
+    std::uint32_t homeResident = 0;
+    for (std::uint32_t c = 0; c < config_.clusterCount; ++c) {
+      const std::uint32_t resident = residentOperands(c);
+      if (resident > homeResident) {
+        home = c;
+        homeResident = resident;
+      }
+    }
+    // Anticipation scales with the delay *beyond* the first cycle: on a
+    // 1-cycle interconnect transfers are nearly free and aggressive
+    // spreading wins (paper Fig. 2); as the delay grows, off-home placement
+    // increasingly has to pay for the way back (paper Fig. 3).
+    const std::uint32_t awayPenalty =
+        (config_.interClusterDelay > 0 ? config_.interClusterDelay - 1 : 0) *
+        config_.bugAnticipationPercent / 100;
+
+    std::uint32_t bestCluster = 0;
+    std::uint32_t bestStart = 0;
+    std::uint32_t bestScore = 0xffffffffu;
+    std::uint32_t bestResident = 0;
+    for (std::uint32_t c = 0; c < config_.clusterCount; ++c) {
+      const std::uint32_t ready = sched::operandReadyCycle(
+          graph_, node, c, issueCycle_, clusterOf_, config_.interClusterDelay);
+      const std::uint32_t start = table_.earliestIssue(c, ready, fuClass);
+      const std::uint32_t score =
+          start + latency + (c == home ? 0 : awayPenalty);
+      const std::uint32_t resident = residentOperands(c);
+      const bool better = score < bestScore ||
+                          (score == bestScore && resident > bestResident);
+      if (better) {
+        bestCluster = c;
+        bestStart = start;
+        bestScore = score;
+        bestResident = resident;
+      }
+    }
+
+    table_.reserve(bestCluster, bestStart, fuClass);
+    issueCycle_[node] = bestStart;
+    clusterOf_[node] = bestCluster;
+    assigned_[node] = true;
+  }
+
+  // Schedules the block under the BUG placement and under the two fixed
+  // reference placements (all-on-cluster-0 and original/redundant split);
+  // keeps the shortest.  Ties favour BUG (it spreads memory operations and
+  // thus MLP), then the split placement.
+  void applyPlacementFallbacks() {
+    const auto applyClusters = [&](auto&& clusterFor) {
+      auto& insns = block_.insns();
+      for (std::uint32_t i = 0; i < insns.size(); ++i) {
+        insns[i].cluster = static_cast<int>(clusterFor(i));
+      }
+    };
+
+    const sched::BlockSchedule bug = sched::scheduleBlock(graph_, config_);
+
+    applyClusters([&](std::uint32_t i) {
+      return isRedundantCode(block_.insns()[i]) ? 1u : 0u;
+    });
+    const sched::BlockSchedule split =
+        config_.clusterCount >= 2 ? sched::scheduleBlock(graph_, config_)
+                                  : bug;
+
+    applyClusters([](std::uint32_t) { return 0u; });
+    const sched::BlockSchedule single = sched::scheduleBlock(graph_, config_);
+
+    if (bug.length <= split.length && bug.length <= single.length) {
+      applyClusters([&](std::uint32_t i) { return clusterOf_[i]; });
+    } else if (config_.clusterCount >= 2 && split.length <= single.length) {
+      applyClusters([&](std::uint32_t i) {
+        return isRedundantCode(block_.insns()[i]) ? 1u : 0u;
+      });
+    }
+    // else: keep the single-cluster placement already written.
+  }
+
+  BasicBlock& block_;
+  const arch::MachineConfig& config_;
+  dfg::DataFlowGraph graph_;
+  sched::ReservationTable table_;
+  std::vector<std::uint32_t> issueCycle_;
+  std::vector<std::uint32_t> clusterOf_;
+  std::vector<bool> assigned_;
+};
+
+}  // namespace
+
+AssignmentStats assignClusters(ir::Program& program,
+                               const arch::MachineConfig& config,
+                               Scheme scheme) {
+  config.validate();
+  if (scheme == Scheme::kDced) {
+    CASTED_CHECK(config.clusterCount >= 2)
+        << "DCED requires at least two clusters";
+  }
+  AssignmentStats stats;
+  for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
+    ir::Function& fn = program.function(f);
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      BasicBlock& block = fn.block(b);
+      switch (scheme) {
+        case Scheme::kNoed:
+        case Scheme::kSced:
+          for (Instruction& insn : block.insns()) {
+            insn.cluster = 0;
+          }
+          break;
+        case Scheme::kDced:
+          for (Instruction& insn : block.insns()) {
+            insn.cluster = isRedundantCode(insn) ? 1 : 0;
+          }
+          break;
+        case Scheme::kCasted:
+          BugAssigner(block, config).run();
+          break;
+      }
+      for (const Instruction& insn : block.insns()) {
+        tallyAssignment(insn, stats);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace casted::passes

@@ -1,0 +1,39 @@
+// Cluster-assignment passes.
+//
+// SCED and DCED are the fixed state-of-the-art placements the paper compares
+// against (§II-B): SCED puts everything on cluster 0; DCED puts the original
+// and non-replicated instructions on cluster 0 and the redundant code
+// (duplicates, checks, shadow copies) on cluster 1.
+//
+// CASTED's assigner is Bottom-Up-Greedy (Algorithm 2, after Ellis'85): walk
+// the block DFG in topological order preferring the critical path, compute
+// each node's completion cycle on every cluster (operand-ready time priced
+// with the inter-cluster delay, plus the earliest free issue slot in the
+// assigner's reservation table), assign the node to the cluster with the
+// earliest completion, and reserve the slot.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/machine_config.h"
+#include "ir/function.h"
+#include "passes/scheme.h"
+
+namespace casted::passes {
+
+struct AssignmentStats {
+  std::uint64_t total = 0;        // instructions assigned
+  std::uint64_t offCluster0 = 0;  // instructions not on cluster 0
+  // CASTED adaptivity indicators (always 0 for the fixed schemes):
+  std::uint64_t originalsMoved = 0;   // original insns placed off cluster 0
+  std::uint64_t duplicatesHome = 0;   // duplicates placed ON cluster 0
+  std::uint64_t checksMoved = 0;      // checks placed off cluster 0
+};
+
+// Assigns every instruction's `cluster` field according to `scheme`.
+// NOED and SCED use only cluster 0; DCED requires >= 2 clusters.
+AssignmentStats assignClusters(ir::Program& program,
+                               const arch::MachineConfig& config,
+                               Scheme scheme);
+
+}  // namespace casted::passes

@@ -1,0 +1,256 @@
+#include "passes/early_opts.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::Instruction;
+using ir::InsnOrigin;
+using ir::Opcode;
+using ir::Reg;
+using ir::RegClass;
+
+std::int64_t wrap(std::uint64_t value) {
+  return static_cast<std::int64_t>(value);
+}
+
+// Folds an integer/predicate operation over constant operands.  Returns
+// nullopt for opcodes this pass does not fold (memory, FP, trapping ops).
+std::optional<std::int64_t> foldOp(const Instruction& insn,
+                                   std::int64_t a, std::int64_t b) {
+  const std::int64_t imm = insn.imm;
+  switch (insn.op) {
+    case Opcode::kMov:
+      return a;
+    case Opcode::kAdd:
+      return wrap(static_cast<std::uint64_t>(a) +
+                  static_cast<std::uint64_t>(b));
+    case Opcode::kSub:
+      return wrap(static_cast<std::uint64_t>(a) -
+                  static_cast<std::uint64_t>(b));
+    case Opcode::kMul:
+      return wrap(static_cast<std::uint64_t>(a) *
+                  static_cast<std::uint64_t>(b));
+    case Opcode::kAnd:
+      return a & b;
+    case Opcode::kOr:
+      return a | b;
+    case Opcode::kXor:
+      return a ^ b;
+    case Opcode::kShl:
+      return wrap(static_cast<std::uint64_t>(a) << (b & 63));
+    case Opcode::kShr:
+      return wrap(static_cast<std::uint64_t>(a) >> (b & 63));
+    case Opcode::kSra:
+      return a >> (b & 63);
+    case Opcode::kMin:
+      return std::min(a, b);
+    case Opcode::kMax:
+      return std::max(a, b);
+    case Opcode::kAddImm:
+      return wrap(static_cast<std::uint64_t>(a) +
+                  static_cast<std::uint64_t>(imm));
+    case Opcode::kMulImm:
+      return wrap(static_cast<std::uint64_t>(a) *
+                  static_cast<std::uint64_t>(imm));
+    case Opcode::kAndImm:
+      return a & imm;
+    case Opcode::kShlImm:
+      return wrap(static_cast<std::uint64_t>(a) << (imm & 63));
+    case Opcode::kShrImm:
+      return wrap(static_cast<std::uint64_t>(a) >> (imm & 63));
+    case Opcode::kSraImm:
+      return a >> (imm & 63);
+    case Opcode::kNeg:
+      return wrap(0 - static_cast<std::uint64_t>(a));
+    case Opcode::kAbs:
+      return a < 0 ? wrap(0 - static_cast<std::uint64_t>(a)) : a;
+    case Opcode::kNot:
+      return ~a;
+    case Opcode::kCmpEq:
+      return a == b ? 1 : 0;
+    case Opcode::kCmpNe:
+      return a != b ? 1 : 0;
+    case Opcode::kCmpLt:
+      return a < b ? 1 : 0;
+    case Opcode::kCmpLe:
+      return a <= b ? 1 : 0;
+    case Opcode::kCmpGt:
+      return a > b ? 1 : 0;
+    case Opcode::kCmpGe:
+      return a >= b ? 1 : 0;
+    case Opcode::kCmpEqImm:
+      return a == imm ? 1 : 0;
+    case Opcode::kCmpNeImm:
+      return a != imm ? 1 : 0;
+    case Opcode::kCmpLtImm:
+      return a < imm ? 1 : 0;
+    case Opcode::kCmpLeImm:
+      return a <= imm ? 1 : 0;
+    case Opcode::kCmpGtImm:
+      return a > imm ? 1 : 0;
+    case Opcode::kCmpGeImm:
+      return a >= imm ? 1 : 0;
+    case Opcode::kPMov:
+      return a != 0 ? 1 : 0;
+    case Opcode::kPNot:
+      return a != 0 ? 0 : 1;
+    case Opcode::kPAnd:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case Opcode::kPOr:
+      return (a != 0 || b != 0) ? 1 : 0;
+    case Opcode::kPXor:
+      return ((a != 0) != (b != 0)) ? 1 : 0;
+    default:
+      return std::nullopt;  // FP, memory, control flow, trapping, checks
+  }
+}
+
+}  // namespace
+
+EarlyOptStats applyConstantFolding(ir::Program& program) {
+  EarlyOptStats stats;
+  for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
+    ir::Function& fn = program.function(f);
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      std::unordered_map<Reg, std::int64_t> constants;
+      for (Instruction& insn : fn.block(b).insns()) {
+        if (insn.origin != InsnOrigin::kOriginal) {
+          // Never touch redundancy machinery; re-track its defs only.
+          for (const Reg& def : insn.defs) {
+            constants.erase(def);
+          }
+          continue;
+        }
+        if (insn.op == Opcode::kMovImm) {
+          constants[insn.defs[0]] = insn.imm;
+          continue;
+        }
+        if (insn.op == Opcode::kPSetImm) {
+          constants[insn.defs[0]] = insn.imm != 0 ? 1 : 0;
+          continue;
+        }
+
+        // Select folds when the predicate is known.
+        if (insn.op == Opcode::kSelect) {
+          const auto pred = constants.find(insn.uses[0]);
+          if (pred != constants.end()) {
+            const Reg chosen =
+                pred->second != 0 ? insn.uses[1] : insn.uses[2];
+            const Reg def = insn.defs[0];
+            insn.op = Opcode::kMov;
+            insn.uses = {chosen};
+            ++stats.foldedConstants;
+            const auto value = constants.find(chosen);
+            if (value != constants.end()) {
+              constants[def] = value->second;
+            } else {
+              constants.erase(def);
+            }
+            continue;
+          }
+        }
+
+        // General fold: all register operands constant.
+        bool allConstant = !insn.uses.empty() || insn.info().hasImm;
+        std::int64_t a = 0;
+        std::int64_t b2 = 0;
+        for (std::size_t i = 0; i < insn.uses.size() && allConstant; ++i) {
+          const auto it = constants.find(insn.uses[i]);
+          if (it == constants.end()) {
+            allConstant = false;
+          } else if (i == 0) {
+            a = it->second;
+          } else {
+            b2 = it->second;
+          }
+        }
+        std::optional<std::int64_t> folded;
+        if (allConstant && insn.uses.size() <= 2 && insn.defs.size() == 1) {
+          folded = foldOp(insn, a, b2);
+        }
+        if (folded.has_value()) {
+          const Reg def = insn.defs[0];
+          if (def.cls == RegClass::kPr) {
+            insn.op = Opcode::kPSetImm;
+          } else {
+            insn.op = Opcode::kMovImm;
+          }
+          insn.uses.clear();
+          insn.imm = *folded;
+          constants[def] = *folded;
+          ++stats.foldedConstants;
+          continue;
+        }
+        for (const Reg& def : insn.defs) {
+          constants.erase(def);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+EarlyOptStats applyCopyPropagation(ir::Program& program) {
+  EarlyOptStats stats;
+  for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
+    ir::Function& fn = program.function(f);
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      // copyOf[r] = s means r currently holds the value of s (and s has not
+      // been redefined since the copy).
+      std::unordered_map<Reg, Reg> copyOf;
+      auto resolve = [&](Reg reg) {
+        const auto it = copyOf.find(reg);
+        return it != copyOf.end() ? it->second : reg;
+      };
+      auto invalidate = [&](Reg def) {
+        copyOf.erase(def);
+        for (auto it = copyOf.begin(); it != copyOf.end();) {
+          if (it->second == def) {
+            it = copyOf.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      };
+      for (Instruction& insn : fn.block(b).insns()) {
+        if (insn.origin == InsnOrigin::kOriginal) {
+          for (Reg& use : insn.uses) {
+            const Reg source = resolve(use);
+            if (source != use) {
+              use = source;
+              ++stats.propagatedCopies;
+            }
+          }
+        }
+        const bool isCopy = (insn.op == Opcode::kMov ||
+                             insn.op == Opcode::kFMov ||
+                             insn.op == Opcode::kPMov) &&
+                            insn.origin == InsnOrigin::kOriginal;
+        for (const Reg& def : insn.defs) {
+          invalidate(def);
+        }
+        if (isCopy && insn.defs[0] != insn.uses[0]) {
+          copyOf[insn.defs[0]] = insn.uses[0];
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+EarlyOptStats applyEarlyOptimisations(ir::Program& program) {
+  EarlyOptStats total;
+  const EarlyOptStats fold1 = applyConstantFolding(program);
+  const EarlyOptStats copies = applyCopyPropagation(program);
+  const EarlyOptStats fold2 = applyConstantFolding(program);
+  total.foldedConstants = fold1.foldedConstants + fold2.foldedConstants;
+  total.propagatedCopies = copies.propagatedCopies;
+  return total;
+}
+
+}  // namespace casted::passes

@@ -1,0 +1,36 @@
+// Early (pre-error-detection) optimisations: constant folding and copy
+// propagation.
+//
+// The paper compiles its benchmarks "with optimizations enabled (-O1)"
+// before the CASTED passes run.  These two passes stand in for that stage:
+// they run on the *unprotected* program, so they need no redundancy
+// protection — they simply make the input code the error-detection pass
+// sees tighter (fewer trivially-foldable instructions means less trivially-
+// foldable duplicated code, which keeps the code-growth factor honest).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.h"
+
+namespace casted::passes {
+
+struct EarlyOptStats {
+  std::uint64_t foldedConstants = 0;   // instructions rewritten to movi/pseti
+  std::uint64_t propagatedCopies = 0;  // uses rewritten through mov chains
+};
+
+// Folds instructions whose operands are compile-time constants into
+// immediate moves (integer ALU, compares, predicate logic and select; FP is
+// left alone to avoid re-implementing IEEE semantics at compile time).
+// Local (per block), iterated with copy propagation by the caller.
+EarlyOptStats applyConstantFolding(ir::Program& program);
+
+// Rewrites uses of registers that currently hold a plain copy (mov/fmov/
+// pmov) of another register, when the source is still intact.  Local.
+EarlyOptStats applyCopyPropagation(ir::Program& program);
+
+// Convenience: folding + propagation + folding again.
+EarlyOptStats applyEarlyOptimisations(ir::Program& program);
+
+}  // namespace casted::passes

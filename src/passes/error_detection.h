@@ -1,0 +1,61 @@
+// ErrorDetectionPass — Algorithm 1 of the paper.
+//
+// Three phases, applied to every protected function:
+//   1. replicate_insns: emit an exact duplicate immediately before every
+//      replicable instruction (everything except control flow, stores and
+//      compiler-generated code; loads ARE replicated — the memory system is
+//      inside its own sphere of protection, SWIFT-style).
+//   2. register_rename: isolate the replicated stream by renaming every
+//      register the duplicates write to a fresh shadow register, and
+//      rewriting duplicate uses through the shadow map (Fig. 4b).  Values
+//      produced by non-duplicated instructions (call results, incoming
+//      parameters) enter the shadow stream through an explicit COPY
+//      (Alg. 1 lines 34-37).
+//   3. emit_check_insns: before every non-replicated instruction, for every
+//      register it reads, emit CHECK(reg, shadow(reg)) which traps to the
+//      detection handler on mismatch.
+//
+// Unprotected ("binary-only library") functions are left untouched,
+// reproducing the paper's §IV-C observation that library code remains
+// vulnerable.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.h"
+
+namespace casted::passes {
+
+struct ErrorDetectionOptions {
+  // Check operands of stores (paper: always true — stores must never write
+  // corrupt data).
+  bool checkStores = true;
+  // Check operands of control-flow instructions (branches, calls, ret,
+  // halt).  The paper's algorithm checks them; turning this off approximates
+  // Shoestring-style reduced checking and is used by an ablation bench.
+  bool checkControlFlow = true;
+  // Emit each check as the paper's literal compare + jump pair (two issue
+  // slots, a real dependence chain) instead of the default fused
+  // compare-and-trap instruction (one slot).  The fused form is the
+  // default because it keeps the schedules readable; `ablation_checks`
+  // quantifies the difference (split checks raise every scheme's overhead
+  // and make the checking code more serial — the paper's h263enc point).
+  bool splitChecks = false;
+};
+
+struct ErrorDetectionStats {
+  std::uint64_t replicated = 0;   // duplicates emitted
+  std::uint64_t checks = 0;       // check instructions emitted
+  std::uint64_t copies = 0;       // shadow copies for non-duplicated defs
+  std::uint64_t skippedUnprotected = 0;  // functions left untouched
+
+  std::uint64_t totalInserted() const {
+    return replicated + checks + copies;
+  }
+};
+
+// Applies Algorithm 1 to every protected function of `program`.
+ErrorDetectionStats applyErrorDetection(
+    ir::Program& program, const ErrorDetectionOptions& options = {});
+
+}  // namespace casted::passes

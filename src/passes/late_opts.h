@@ -1,0 +1,41 @@
+// Late optimisation passes: local CSE and liveness-based DCE.
+//
+// These reproduce the paper's methodology point (§IV-A): GCC's late CSE/DCE
+// stages, run after the CASTED passes, would fold or delete the replicated
+// code (a duplicate is by construction a common subexpression of its
+// original once their operands coincide — e.g. immediate moves).  The paper
+// disables them after the error-detection pass; here the same is expressed
+// by `protectRedundant`, which excludes non-original instructions from both
+// transformations.  An ablation bench runs with protection off to quantify
+// the coverage loss.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.h"
+
+namespace casted::passes {
+
+struct LateOptOptions {
+  // When true (the paper's setting), duplicates/checks/copies neither
+  // participate in CSE nor are eligible for DCE.
+  bool protectRedundant = true;
+};
+
+struct LateOptStats {
+  std::uint64_t cseReplaced = 0;  // instructions rewritten into copies
+  std::uint64_t dceRemoved = 0;   // instructions deleted
+};
+
+// Local (per-block) common-subexpression elimination via value numbering.
+// A recomputation of an available expression is rewritten into a register
+// copy from the earlier result.
+LateOptStats applyLocalCse(ir::Program& program,
+                           const LateOptOptions& options = {});
+
+// Dead-code elimination: deletes side-effect-free instructions whose results
+// are dead (liveness-based, iterated to a fixpoint).  Trapping instructions
+// (div/rem, loads, f2i) are conservatively kept.
+LateOptStats applyDce(ir::Program& program, const LateOptOptions& options = {});
+
+}  // namespace casted::passes

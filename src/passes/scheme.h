@@ -1,0 +1,32 @@
+// The four code-generation schemes the paper evaluates (§IV-B).
+#pragma once
+
+#include <string>
+
+namespace casted::passes {
+
+enum class Scheme {
+  kNoed,    // no error detection: the unmodified single-cluster code
+  kSced,    // single-core error detection: everything on cluster 0
+  kDced,    // dual-core: original on cluster 0, redundant code on cluster 1
+  kCasted,  // adaptive: Bottom-Up-Greedy assignment (Algorithm 2)
+};
+
+inline const char* schemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNoed:
+      return "NOED";
+    case Scheme::kSced:
+      return "SCED";
+    case Scheme::kDced:
+      return "DCED";
+    case Scheme::kCasted:
+      return "CASTED";
+  }
+  return "?";
+}
+
+inline constexpr Scheme kAllSchemes[] = {Scheme::kNoed, Scheme::kSced,
+                                         Scheme::kDced, Scheme::kCasted};
+
+}  // namespace casted::passes

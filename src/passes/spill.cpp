@@ -1,0 +1,221 @@
+#include "passes/spill.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "passes/liveness.h"
+#include "support/check.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::InsnOrigin;
+using ir::Opcode;
+using ir::Program;
+using ir::Reg;
+using ir::RegClass;
+
+// Fixed-size per-function spill arena; generous compared to any realistic
+// pressure overshoot.
+constexpr std::uint32_t kMaxSlots = 256;
+
+class FunctionSpiller {
+ public:
+  FunctionSpiller(Program& program, Function& fn,
+                  const arch::RegisterFileConfig& capacity,
+                  SpillStats& stats)
+      : program_(program), fn_(fn), capacity_(capacity), stats_(stats) {}
+
+  void run() {
+    for (int round = 0; round < 128; ++round) {
+      const LivenessInfo liveness = computeLiveness(fn_);
+      RegClass cls;
+      if (liveness.maxPressure[static_cast<int>(RegClass::kGp)] >
+          capacity_.gp) {
+        cls = RegClass::kGp;
+      } else if (liveness.maxPressure[static_cast<int>(RegClass::kFp)] >
+                 capacity_.fp) {
+        cls = RegClass::kFp;
+      } else {
+        stats_.residualPrPressure = std::max<std::uint64_t>(
+            stats_.residualPrPressure,
+            liveness.maxPressure[static_cast<int>(RegClass::kPr)] >
+                    capacity_.pr
+                ? liveness.maxPressure[static_cast<int>(RegClass::kPr)] -
+                      capacity_.pr
+                : 0);
+        return;
+      }
+      const Reg victim = pickVictim(cls);
+      if (!victim.valid()) {
+        return;  // nothing spillable left
+      }
+      spill(victim);
+    }
+  }
+
+ private:
+  // Longest live span of the class, excluding spill machinery.
+  Reg pickVictim(RegClass cls) {
+    std::unordered_map<Reg, std::uint64_t> span;
+    for (ir::BlockId b = 0; b < fn_.blockCount(); ++b) {
+      std::unordered_map<Reg, std::pair<std::size_t, std::size_t>> range;
+      const auto& insns = fn_.block(b).insns();
+      for (std::size_t i = 0; i < insns.size(); ++i) {
+        auto touch = [&](Reg reg) {
+          if (reg.cls != cls || noSpill_.contains(reg)) {
+            return;
+          }
+          auto [it, fresh] = range.try_emplace(reg, i, i);
+          if (!fresh) {
+            it->second.second = i;
+          }
+        };
+        for (const Reg& def : insns[i].defs) {
+          touch(def);
+        }
+        for (const Reg& use : insns[i].uses) {
+          touch(use);
+        }
+      }
+      for (const auto& [reg, firstLast] : range) {
+        // +blockBonus so multi-block ranges dominate.
+        span[reg] += (firstLast.second - firstLast.first) + 64;
+      }
+    }
+    Reg best;
+    std::uint64_t bestSpan = 0;
+    for (const auto& [reg, regSpan] : span) {
+      if (regSpan > bestSpan) {
+        best = reg;
+        bestSpan = regSpan;
+      }
+    }
+    return best;
+  }
+
+  void ensureSpillBase() {
+    if (spillBase_.valid()) {
+      return;
+    }
+    const std::uint64_t address = program_.allocateGlobal(
+        "spill$" + fn_.name(), std::uint64_t{kMaxSlots} * 8);
+    spillBase_ = fn_.newReg(RegClass::kGp);
+    noSpill_.insert(spillBase_);
+    Instruction movi;
+    movi.op = Opcode::kMovImm;
+    movi.id = fn_.newInsnId();
+    movi.defs = {spillBase_};
+    movi.imm = static_cast<std::int64_t>(address);
+    movi.origin = InsnOrigin::kSpill;
+    auto& entry = fn_.entry().insns();
+    entry.insert(entry.begin(), std::move(movi));
+  }
+
+  void spill(Reg victim) {
+    ensureSpillBase();
+    CASTED_CHECK(nextSlot_ < kMaxSlots)
+        << "spill arena exhausted in @" << fn_.name();
+    const std::int64_t offset = static_cast<std::int64_t>(nextSlot_++) * 8;
+    noSpill_.insert(victim);
+    ++stats_.spilledRegs;
+
+    const Opcode storeOp =
+        victim.cls == RegClass::kFp ? Opcode::kFStore : Opcode::kStore;
+    const Opcode loadOp =
+        victim.cls == RegClass::kFp ? Opcode::kFLoad : Opcode::kLoad;
+
+    const bool isParam =
+        std::find(fn_.params().begin(), fn_.params().end(), victim) !=
+        fn_.params().end();
+
+    for (ir::BlockId b = 0; b < fn_.blockCount(); ++b) {
+      BasicBlock& block = fn_.block(b);
+      std::vector<Instruction> rebuilt;
+      rebuilt.reserve(block.insns().size());
+
+      // Incoming parameter: store it once at function entry (after the
+      // spill-base materialisation).
+      const bool storeParamHere = isParam && b == 0;
+      bool paramStored = false;
+
+      for (Instruction& insn : block.insns()) {
+        if (storeParamHere && !paramStored &&
+            insn.origin != InsnOrigin::kSpill) {
+          rebuilt.push_back(makeStore(storeOp, offset, victim));
+          paramStored = true;
+        }
+        // Reload before a user.
+        bool reads = false;
+        for (const Reg& use : insn.uses) {
+          reads = reads || use == victim;
+        }
+        if (reads) {
+          const Reg temp = fn_.newReg(victim.cls);
+          noSpill_.insert(temp);
+          Instruction reload;
+          reload.op = loadOp;
+          reload.id = fn_.newInsnId();
+          reload.defs = {temp};
+          reload.uses = {spillBase_};
+          reload.imm = offset;
+          reload.origin = InsnOrigin::kSpill;
+          rebuilt.push_back(std::move(reload));
+          ++stats_.spillReloads;
+          for (Reg& use : insn.uses) {
+            if (use == victim) {
+              use = temp;
+            }
+          }
+        }
+        bool writes = false;
+        for (const Reg& def : insn.defs) {
+          writes = writes || def == victim;
+        }
+        rebuilt.push_back(std::move(insn));
+        // Store right after a definition.
+        if (writes) {
+          rebuilt.push_back(makeStore(storeOp, offset, victim));
+        }
+      }
+      block.insns() = std::move(rebuilt);
+    }
+  }
+
+  Instruction makeStore(Opcode storeOp, std::int64_t offset, Reg victim) {
+    Instruction store;
+    store.op = storeOp;
+    store.id = fn_.newInsnId();
+    store.uses = {spillBase_, victim};
+    store.imm = offset;
+    store.origin = InsnOrigin::kSpill;
+    ++stats_.spillStores;
+    return store;
+  }
+
+  Program& program_;
+  Function& fn_;
+  const arch::RegisterFileConfig& capacity_;
+  SpillStats& stats_;
+  Reg spillBase_;
+  std::uint32_t nextSlot_ = 0;
+  std::unordered_set<Reg> noSpill_;
+};
+
+}  // namespace
+
+SpillStats applySpilling(ir::Program& program,
+                         const arch::MachineConfig& config) {
+  SpillStats stats;
+  for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
+    FunctionSpiller(program, program.function(f), config.registerFile, stats)
+        .run();
+  }
+  return stats;
+}
+
+}  // namespace casted::passes

@@ -1,0 +1,39 @@
+// Register-pressure modelling: the spill inserter.
+//
+// The paper's passes run after register allocation, so the duplicated
+// registers cost real spills ("the variation of register spilling it
+// causes", §IV-B1).  Our IR keeps virtual registers; this pass restores the
+// capacity effect: while the per-class register pressure exceeds the
+// per-cluster file size (Table I: 64 GP / 64 FP / 32 PR), the longest-lived
+// virtual registers are spilled to memory — a store after every definition,
+// a reload before every use.
+//
+// Spill code is compiler-generated (origin kSpill): per Algorithm 1 it is
+// neither replicated nor checked, which reproduces the classic SWIFT
+// vulnerability window around spill slots.
+//
+// Predicate registers are not spilled (the IR has no predicate load/store,
+// matching IA-64, where predicates move through GPRs); PR pressure above
+// the file size is reported as a diagnostic instead.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/machine_config.h"
+#include "ir/function.h"
+
+namespace casted::passes {
+
+struct SpillStats {
+  std::uint64_t spilledRegs = 0;
+  std::uint64_t spillStores = 0;
+  std::uint64_t spillReloads = 0;
+  std::uint64_t residualPrPressure = 0;  // PR pressure beyond the file, if any
+};
+
+// Spills until GP/FP pressure fits `config.registerFile` in every function.
+// Allocates one "spill$<function>" global per spilling function.
+SpillStats applySpilling(ir::Program& program,
+                         const arch::MachineConfig& config);
+
+}  // namespace casted::passes

@@ -1,0 +1,95 @@
+#include "sched/reservation_table.h"
+
+#include "support/check.h"
+
+namespace casted::sched {
+
+const ReservationTable::CycleState ReservationTable::kEmpty = {};
+
+ReservationTable::ReservationTable(const arch::MachineConfig& config)
+    : config_(&config),
+      cycles_(config.clusterCount),
+      used_(config.clusterCount, 0) {}
+
+const ReservationTable::CycleState& ReservationTable::state(
+    std::uint32_t cluster, std::uint32_t cycle) const {
+  CASTED_CHECK(cluster < cycles_.size()) << "bad cluster " << cluster;
+  if (cycle >= cycles_[cluster].size()) {
+    return kEmpty;
+  }
+  return cycles_[cluster][cycle];
+}
+
+ReservationTable::CycleState& ReservationTable::mutableState(
+    std::uint32_t cluster, std::uint32_t cycle) {
+  CASTED_CHECK(cluster < cycles_.size()) << "bad cluster " << cluster;
+  if (cycle >= cycles_[cluster].size()) {
+    cycles_[cluster].resize(cycle + 1);
+  }
+  return cycles_[cluster][cycle];
+}
+
+bool ReservationTable::canIssue(std::uint32_t cluster, std::uint32_t cycle,
+                                ir::FuClass cls) const {
+  if (cycle < closedCycles_.size() && closedCycles_[cycle]) {
+    return false;  // a branch already ended this machine-wide bundle
+  }
+  const CycleState& s = state(cluster, cycle);
+  if (s.total >= config_->issueWidth) {
+    return false;
+  }
+  if (cls == ir::FuClass::kMem && s.mem >= config_->portLimit(cls)) {
+    return false;
+  }
+  if (isFp(cls) && s.fp >= config_->portLimit(cls)) {
+    return false;
+  }
+  if (cls == ir::FuClass::kBranch && s.branch >= config_->portLimit(cls)) {
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t ReservationTable::earliestIssue(std::uint32_t cluster,
+                                              std::uint32_t fromCycle,
+                                              ir::FuClass cls) const {
+  std::uint32_t cycle = fromCycle;
+  while (!canIssue(cluster, cycle, cls)) {
+    ++cycle;
+  }
+  return cycle;
+}
+
+std::uint32_t ReservationTable::reserve(std::uint32_t cluster,
+                                        std::uint32_t cycle,
+                                        ir::FuClass cls) {
+  CASTED_CHECK(canIssue(cluster, cycle, cls))
+      << "slot not available: cluster " << cluster << " cycle " << cycle;
+  CycleState& s = mutableState(cluster, cycle);
+  const std::uint32_t slot = s.total;
+  ++s.total;
+  if (cls == ir::FuClass::kMem) {
+    ++s.mem;
+  }
+  if (isFp(cls)) {
+    ++s.fp;
+  }
+  if (cls == ir::FuClass::kBranch) {
+    ++s.branch;
+    if (config_->branchClosesBundle) {
+      if (cycle >= closedCycles_.size()) {
+        closedCycles_.resize(cycle + 1, false);
+      }
+      closedCycles_[cycle] = true;
+    }
+  }
+  ++used_[cluster];
+  return slot;
+}
+
+std::uint32_t ReservationTable::usedSlots(std::uint32_t cluster) const {
+  CASTED_CHECK(cluster < used_.size()) << "bad cluster " << cluster;
+  return used_[cluster];
+}
+
+}  // namespace casted::sched

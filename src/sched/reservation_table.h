@@ -1,0 +1,60 @@
+// Issue-slot reservation table.
+//
+// Shared by the list scheduler and BUG (Algorithm 2 line 17, "Reserve issue
+// slots in reservation table").  Tracks, per cluster and cycle, how many of
+// the issue slots are taken, plus per-functional-unit-class counts so
+// optional port limits (e.g. one memory port per cluster) can be enforced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine_config.h"
+
+namespace casted::sched {
+
+class ReservationTable {
+ public:
+  explicit ReservationTable(const arch::MachineConfig& config);
+
+  // True when `cls` can issue on `cluster` at `cycle`.
+  bool canIssue(std::uint32_t cluster, std::uint32_t cycle,
+                ir::FuClass cls) const;
+
+  // Earliest cycle >= `fromCycle` at which `cls` can issue on `cluster`.
+  std::uint32_t earliestIssue(std::uint32_t cluster, std::uint32_t fromCycle,
+                              ir::FuClass cls) const;
+
+  // Marks one slot used; returns the slot index within the cycle.
+  std::uint32_t reserve(std::uint32_t cluster, std::uint32_t cycle,
+                        ir::FuClass cls);
+
+  // Total slots reserved so far on `cluster` (used for tie-breaking).
+  std::uint32_t usedSlots(std::uint32_t cluster) const;
+
+  const arch::MachineConfig& config() const { return *config_; }
+
+ private:
+  struct CycleState {
+    std::uint32_t total = 0;
+    std::uint32_t mem = 0;
+    std::uint32_t fp = 0;
+    std::uint32_t branch = 0;
+  };
+
+  const CycleState& state(std::uint32_t cluster, std::uint32_t cycle) const;
+  CycleState& mutableState(std::uint32_t cluster, std::uint32_t cycle);
+
+  static bool isFp(ir::FuClass cls) {
+    return cls == ir::FuClass::kFpAlu || cls == ir::FuClass::kFpMul ||
+           cls == ir::FuClass::kFpDiv;
+  }
+
+  const arch::MachineConfig* config_;
+  std::vector<std::vector<CycleState>> cycles_;  // [cluster][cycle]
+  std::vector<bool> closedCycles_;               // machine-wide group ends
+  std::vector<std::uint32_t> used_;              // per cluster
+  static const CycleState kEmpty;
+};
+
+}  // namespace casted::sched

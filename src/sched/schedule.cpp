@@ -1,0 +1,70 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace casted::sched {
+
+std::string BlockSchedule::render(const ir::BasicBlock& block,
+                                  std::uint32_t clusterCount,
+                                  std::uint32_t issueWidth) const {
+  // Gather per (cycle, cluster) mnemonic lists.
+  std::uint32_t maxCycle = 0;
+  for (const ScheduledInsn& si : insns) {
+    maxCycle = std::max(maxCycle, si.cycle);
+  }
+  std::vector<std::vector<std::string>> cells((maxCycle + 1) * clusterCount);
+  for (const ScheduledInsn& si : insns) {
+    const ir::Instruction& insn = block.insns()[si.node];
+    std::string label = insn.info().name;
+    if (insn.origin == ir::InsnOrigin::kDuplicate) {
+      label += "'";
+    }
+    cells[si.cycle * clusterCount + si.cluster].push_back(label);
+  }
+  // Column widths.
+  std::size_t width = 8;
+  for (const auto& cell : cells) {
+    std::size_t cellWidth = 0;
+    for (const std::string& label : cell) {
+      cellWidth += label.size() + 1;
+    }
+    width = std::max(width, cellWidth + 1);
+  }
+  std::ostringstream out;
+  out << "cycle";
+  for (std::uint32_t c = 0; c < clusterCount; ++c) {
+    std::string head = " | cluster" + std::to_string(c) + " (" +
+                       std::to_string(issueWidth) + "-wide)";
+    head.resize(std::max(head.size(), width + 3), ' ');
+    out << head;
+  }
+  out << '\n';
+  for (std::uint32_t cycle = 0; cycle <= maxCycle; ++cycle) {
+    std::string cycleText = std::to_string(cycle);
+    cycleText.resize(5, ' ');
+    out << cycleText;
+    for (std::uint32_t c = 0; c < clusterCount; ++c) {
+      std::string body;
+      for (const std::string& label : cells[cycle * clusterCount + c]) {
+        body += label + ' ';
+      }
+      std::string cell = " | " + body;
+      cell.resize(width + 3, ' ');
+      out << cell;
+    }
+    out << '\n';
+  }
+  out << "length: " << length << " cycles\n";
+  return out.str();
+}
+
+std::uint64_t FunctionSchedule::totalLength() const {
+  std::uint64_t total = 0;
+  for (const BlockSchedule& block : blocks) {
+    total += block.length;
+  }
+  return total;
+}
+
+}  // namespace casted::sched

@@ -1,0 +1,84 @@
+// Cache hierarchy model (Table I).
+//
+// Three set-associative LRU levels over a flat physical address space, plus
+// main memory.  The hierarchy is shared by both clusters (the target's
+// memory subsystem sits outside the clusters, Fig. 1) and is *timing only*:
+// data lives in sim::Memory; the caches track which lines are resident and
+// answer "how many cycles did this access cost".
+//
+// Misses use write-allocate fills into every level (inclusive).  Write-back
+// traffic is not modelled — stores cost the same as loads at the same level,
+// which preserves the paper-relevant behaviour (miss stalls and MLP).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine_config.h"
+
+namespace casted::sim {
+
+struct CacheLevelStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double hitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+// One set-associative LRU level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const arch::CacheLevelConfig& config);
+
+  // True when the line holding `address` is resident; updates LRU on hit.
+  bool lookup(std::uint64_t address);
+
+  // Inserts the line holding `address`, evicting the LRU way.
+  void fill(std::uint64_t address);
+
+  void reset();
+
+  const CacheLevelStats& stats() const { return stats_; }
+  const arch::CacheLevelConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t setIndex(std::uint64_t address) const;
+  std::uint64_t tagOf(std::uint64_t address) const;
+
+  arch::CacheLevelConfig config_;
+  std::uint32_t setCount_;
+  std::vector<Way> ways_;  // setCount_ * associativity
+  std::uint64_t clock_ = 0;
+  CacheLevelStats stats_;
+};
+
+// The full hierarchy.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const arch::CacheConfig& config);
+
+  // Performs one access; returns its total latency in cycles (L1 latency on
+  // an L1 hit, ... , memoryLatency on a full miss) and fills all levels.
+  std::uint32_t access(std::uint64_t address);
+
+  void reset();
+
+  const CacheLevelStats& levelStats(std::size_t level) const;
+  std::uint64_t memoryAccesses() const { return memoryAccesses_; }
+
+ private:
+  std::vector<CacheLevel> levels_;
+  std::uint32_t memoryLatency_;
+  std::uint64_t memoryAccesses_ = 0;
+};
+
+}  // namespace casted::sim

@@ -1,0 +1,64 @@
+// Flat simulated memory.
+//
+// The arena covers [0, arenaEnd).  Addresses below Program::kGlobalBase form
+// a guard region that always faults (so a corrupted near-null pointer raises
+// an exception, one of the paper's outcome classes), globals sit at
+// kGlobalBase, and a zero-initialised scratch/heap region follows them.
+// 64-bit accesses must be 8-byte aligned; violations raise kMisaligned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace casted::sim {
+
+// Why a run trapped.
+enum class TrapKind : std::uint8_t {
+  kNone,
+  kBadAddress,
+  kMisaligned,
+  kDivByZero,
+  kBadConversion,  // f2i of NaN/infinity/out-of-range
+  kStackOverflow,
+};
+
+const char* trapKindName(TrapKind kind);
+
+// Raised by Memory/Executor on a trap; caught by the simulator run loop and
+// classified as an Exception outcome.
+struct TrapError {
+  TrapKind kind = TrapKind::kNone;
+  std::uint64_t address = 0;
+};
+
+class Memory {
+ public:
+  // Builds the memory image of `program` with `heapBytes` of zeroed scratch
+  // after the globals.
+  Memory(const ir::Program& program, std::uint64_t heapBytes);
+
+  std::uint64_t arenaEnd() const {
+    return ir::Program::kGlobalBase + bytes_.size();
+  }
+
+  std::uint64_t readU64(std::uint64_t address) const;
+  std::uint8_t readU8(std::uint64_t address) const;
+  double readF64(std::uint64_t address) const;
+  void writeU64(std::uint64_t address, std::uint64_t value);
+  void writeU8(std::uint64_t address, std::uint8_t value);
+  void writeF64(std::uint64_t address, double value);
+
+  // Snapshot of `size` bytes at `address` (bounds-checked) — used to capture
+  // the output region for golden comparison.
+  std::vector<std::uint8_t> snapshot(std::uint64_t address,
+                                     std::uint64_t size) const;
+
+ private:
+  std::size_t checkRange(std::uint64_t address, std::uint32_t width) const;
+
+  std::vector<std::uint8_t> bytes_;  // starts at kGlobalBase
+};
+
+}  // namespace casted::sim

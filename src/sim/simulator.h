@@ -1,0 +1,60 @@
+// The clustered-VLIW simulator (our stand-in for the paper's modified SKI).
+//
+// Execution is split in two coupled walks per basic-block execution:
+//   * a functional walk in program order — computes values, follows calls
+//     and branches, performs memory reads/writes, fires CHECKs, raises
+//     traps, and (for fault-injection runs) applies the planned bit flips to
+//     instruction outputs;
+//   * a timing walk over the block's static VLIW schedule — charges the
+//     schedule length plus cache-miss stalls.  Misses issued in the same
+//     bundle overlap (non-blocking caches): the bundle pays only the worst
+//     extra latency, which is the MLP mechanism CASTED's spreading of
+//     memory operations exploits (§III-D).
+//
+// The split is sound because the scheduler honours every DFG dependence, so
+// the scheduled order computes exactly the program-order values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/machine_config.h"
+#include "ir/function.h"
+#include "sched/schedule.h"
+#include "sim/run_result.h"
+
+namespace casted::sim {
+
+struct SimOptions {
+  std::uint64_t heapBytes = 1 << 20;   // zeroed scratch after the globals
+  std::uint64_t maxCycles = ~0ULL;     // watchdog (timeout outcome)
+  std::uint32_t maxCallDepth = 256;
+  std::string outputSymbol = "output"; // snapshot target for classification
+  const FaultPlan* faultPlan = nullptr;
+};
+
+class Simulator {
+ public:
+  // `schedule` must have been produced from `program` with `config` (same
+  // block/function shapes).
+  Simulator(const ir::Program& program, const sched::ProgramSchedule& schedule,
+            const arch::MachineConfig& config, SimOptions options = {});
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Executes the program from its entry function to completion.
+  RunResult run();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience wrapper: schedule + simulate in one call.
+RunResult simulate(const ir::Program& program,
+                   const sched::ProgramSchedule& schedule,
+                   const arch::MachineConfig& config, SimOptions options = {});
+
+}  // namespace casted::sim

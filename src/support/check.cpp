@@ -1,0 +1,15 @@
+#include "support/check.h"
+
+namespace casted::detail {
+
+void throwCheckFailure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream out;
+  out << "CASTED_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw FatalError(out.str());
+}
+
+}  // namespace casted::detail

@@ -1,0 +1,64 @@
+// Lightweight invariant checking for the CASTED library.
+//
+// CASTED_CHECK is used for conditions that indicate a programming error in
+// the library or its caller (C++ Core Guidelines I.6/E.12: document and
+// enforce preconditions).  Failures throw casted::FatalError, which carries
+// the failing expression, location, and an optional formatted message, so
+// library misuse is reported eagerly instead of corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace casted {
+
+// Thrown when an internal invariant or a caller-facing precondition fails.
+class FatalError : public std::logic_error {
+ public:
+  explicit FatalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+// Builds the final FatalError message; kept out of the macro so the macro
+// body stays small at every expansion site.
+[[noreturn]] void throwCheckFailure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+
+// Accumulates the optional streamed message of CASTED_CHECK.
+class CheckMessageStream {
+ public:
+  CheckMessageStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageStream() noexcept(false) {
+    throwCheckFailure(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace casted
+
+// Evaluates `cond`; on failure throws casted::FatalError.  Extra context can
+// be streamed: CASTED_CHECK(x > 0) << "x=" << x;
+#define CASTED_CHECK(cond)                                                  \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::casted::detail::CheckMessageStream(#cond, __FILE__, __LINE__)
+
+// Marks unreachable control flow; always throws.
+#define CASTED_UNREACHABLE(msg)                                             \
+  ::casted::detail::throwCheckFailure("unreachable", __FILE__, __LINE__, msg)

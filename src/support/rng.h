@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for workload data and the
+// Monte Carlo fault-injection campaigns.
+//
+// We implement xoshiro256** (Blackman & Vigna) instead of relying on
+// std::mt19937 so that streams are cheap to fork (one generator per Monte
+// Carlo trial) and the sequence is stable across standard libraries — the
+// fault-injection experiments must be reproducible bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace casted {
+
+// xoshiro256** PRNG.  Copyable; copies continue independent deterministic
+// streams.
+class Rng {
+ public:
+  // Seeds via splitmix64 so that nearby seeds yield uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Next raw 64-bit value.
+  std::uint64_t next();
+
+  // Uniform in [0, bound).  bound must be non-zero.  Uses rejection sampling
+  // (unbiased).
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double nextDouble();
+
+  // Bernoulli draw with probability p in [0, 1].
+  bool nextBool(double p = 0.5);
+
+  // Forks a child generator whose stream is independent of this one; used to
+  // give each Monte Carlo trial its own stream regardless of how many draws
+  // other trials consume.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace casted

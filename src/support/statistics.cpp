@@ -1,0 +1,61 @@
+#include "support/statistics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace casted {
+
+SampleSummary summarize(std::span<const double> values) {
+  SampleSummary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  double logSum = 0.0;
+  bool allPositive = true;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    if (v > 0.0) {
+      logSum += std::log(v);
+    } else {
+      allPositive = false;
+    }
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  s.geomean =
+      allPositive ? std::exp(logSum / static_cast<double>(values.size())) : 0.0;
+  double sq = 0.0;
+  for (double v : values) {
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double mean(std::span<const double> values) { return summarize(values).mean; }
+
+double geomean(std::span<const double> values) {
+  for (double v : values) {
+    CASTED_CHECK(v > 0.0) << "geomean requires positive values, got " << v;
+  }
+  return summarize(values).geomean;
+}
+
+std::string formatFixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string formatPercent(double fraction) {
+  return formatFixed(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace casted

@@ -1,0 +1,37 @@
+// Small statistics helpers used by the benchmark harnesses and the fault
+// coverage reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace casted {
+
+// Summary statistics over a sample.  All members are 0 for an empty sample
+// except count.
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double geomean = 0.0;  // only meaningful for strictly positive samples
+  double stddev = 0.0;   // population standard deviation
+};
+
+// Computes summary statistics in one pass over `values`.
+SampleSummary summarize(std::span<const double> values);
+
+// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+// Geometric mean; requires strictly positive values; 0 for an empty span.
+double geomean(std::span<const double> values);
+
+// Formats `value` with `digits` digits after the decimal point.
+std::string formatFixed(double value, int digits);
+
+// Formats `fraction` (0..1) as a percentage with one decimal, e.g. "42.5%".
+std::string formatPercent(double fraction);
+
+}  // namespace casted

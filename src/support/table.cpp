@@ -1,0 +1,139 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace casted {
+namespace {
+
+bool looksNumeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  for (char c : cell) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != '%' &&
+        c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CASTED_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  CASTED_CHECK(cells.size() == header_.size())
+      << "row arity " << cells.size() << " != header arity " << header_.size();
+  rows_.push_back({false, std::move(cells)});
+}
+
+void TextTable::addSeparator() { rows_.push_back({true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto renderCells = [&](const std::vector<std::string>& cells,
+                         std::ostringstream& out) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t pad = widths[i] - cells[i].size();
+      out << "| ";
+      if (looksNumeric(cells[i])) {
+        out << std::string(pad, ' ') << cells[i];
+      } else {
+        out << cells[i] << std::string(pad, ' ');
+      }
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  auto renderRule = [&](std::ostringstream& out) {
+    for (std::size_t width : widths) {
+      out << '+' << std::string(width + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  std::ostringstream out;
+  renderRule(out);
+  renderCells(header_, out);
+  renderRule(out);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      renderRule(out);
+    } else {
+      renderCells(row.cells, out);
+    }
+  }
+  renderRule(out);
+  return out.str();
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::addRow(std::vector<std::string> cells) {
+  CASTED_CHECK(cells.size() == header_.size())
+      << "row arity " << cells.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') {
+        quoted += '"';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        out << ',';
+      }
+      out << quote(cells[i]);
+    }
+    out << '\n';
+  };
+  renderRow(header_);
+  for (const auto& row : rows_) {
+    renderRow(row);
+  }
+  return out.str();
+}
+
+void CsvWriter::writeFile(const std::string& path) const {
+  std::ofstream file(path);
+  CASTED_CHECK(file.good()) << "cannot open " << path << " for writing";
+  file << render();
+  CASTED_CHECK(file.good()) << "write to " << path << " failed";
+}
+
+}  // namespace casted

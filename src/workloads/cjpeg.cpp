@@ -1,0 +1,174 @@
+// cjpeg stand-in: 8x8 forward DCT-style transform + quantisation over an
+// image, reduced to per-block checksums.
+//
+// Shape (why it stands in for cjpeg): the hot loop of JPEG encoding is the
+// blockwise fDCT + quantisation; each 8x8 block is one big straight-line
+// region with abundant ILP (the rows/columns are independent butterfly
+// networks), and the output is *compressed* — most computed bits are folded
+// into a checksum, so single bit flips are often masked, which is the
+// paper's explanation for cjpeg's low error sensitivity (§IV-C).
+#include <array>
+
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeCjpeg(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "cjpeg";
+  workload.suite = "MediaBench II video";
+
+  Program& prog = workload.program;
+  const std::uint32_t blocks = 12 * scale;
+
+  const std::uint64_t inputAddr = prog.allocateGlobal(
+      "input", detail::randomBytes(std::size_t{blocks} * 64, 0xC01FEE));
+  // Quantisation multipliers, one u64 per coefficient row.
+  std::vector<std::uint8_t> quant;
+  for (int k = 0; k < 8; ++k) {
+    detail::appendU64(quant, 16 + (static_cast<std::uint64_t>(k) * 7) % 48);
+  }
+  const std::uint64_t quantAddr = prog.allocateGlobal("quant", quant);
+  const std::uint64_t outputAddr =
+      prog.allocateGlobal("output", std::uint64_t{blocks} * 8 + 8);
+
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& loop = b.createBlock("loop");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg inBase = b.movImm(static_cast<std::int64_t>(inputAddr));
+  const Reg qBase = b.movImm(static_cast<std::int64_t>(quantAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg blockIdx = b.movImm(0);
+  const Reg total = b.movImm(0);
+  b.br(loop);
+
+  b.setBlock(loop);
+  // addr = input + blockIdx * 64
+  const Reg blockOff = b.shlImm(blockIdx, 6);
+  const Reg addr = b.add(inBase, blockOff);
+
+  // Load the 8x8 block of pixels.
+  std::array<Reg, 64> x;
+  for (int k = 0; k < 64; ++k) {
+    x[static_cast<std::size_t>(k)] = b.loadB(addr, k);
+  }
+
+  // 8-point forward butterfly network (DCT-II structure with integer
+  // weights approximated by shifts/adds).
+  auto dct8 = [&](const std::array<Reg, 8>& in) {
+    std::array<Reg, 8> out;
+    std::array<Reg, 4> s;
+    std::array<Reg, 4> d;
+    for (int i = 0; i < 4; ++i) {
+      s[static_cast<std::size_t>(i)] =
+          b.add(in[static_cast<std::size_t>(i)],
+                in[static_cast<std::size_t>(7 - i)]);
+      d[static_cast<std::size_t>(i)] =
+          b.sub(in[static_cast<std::size_t>(i)],
+                in[static_cast<std::size_t>(7 - i)]);
+    }
+    const Reg t0 = b.add(s[0], s[3]);
+    const Reg t1 = b.add(s[1], s[2]);
+    const Reg t2 = b.sub(s[0], s[3]);
+    const Reg t3 = b.sub(s[1], s[2]);
+    out[0] = b.add(t0, t1);
+    out[4] = b.sub(t0, t1);
+    out[2] = b.add(t2, b.sraImm(t3, 1));
+    out[6] = b.sub(b.sraImm(t2, 1), t3);
+    const Reg u0 = b.add(d[0], b.sraImm(d[1], 1));
+    const Reg u1 = b.sub(d[2], b.sraImm(d[3], 1));
+    const Reg u2 = b.add(d[1], b.sraImm(d[2], 1));
+    const Reg u3 = b.sub(d[3], b.sraImm(d[0], 2));
+    out[1] = b.add(u0, u1);
+    out[5] = b.sub(u0, u1);
+    out[3] = b.add(u2, u3);
+    out[7] = b.sub(u2, u3);
+    return out;
+  };
+
+  // Row pass.
+  std::array<Reg, 64> y;
+  for (int r = 0; r < 8; ++r) {
+    std::array<Reg, 8> row;
+    for (int c = 0; c < 8; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          x[static_cast<std::size_t>(r * 8 + c)];
+    }
+    const std::array<Reg, 8> transformed = dct8(row);
+    for (int c = 0; c < 8; ++c) {
+      y[static_cast<std::size_t>(r * 8 + c)] =
+          transformed[static_cast<std::size_t>(c)];
+    }
+  }
+  // Column pass.
+  std::array<Reg, 64> z;
+  for (int c = 0; c < 8; ++c) {
+    std::array<Reg, 8> col;
+    for (int r = 0; r < 8; ++r) {
+      col[static_cast<std::size_t>(r)] =
+          y[static_cast<std::size_t>(r * 8 + c)];
+    }
+    const std::array<Reg, 8> transformed = dct8(col);
+    for (int r = 0; r < 8; ++r) {
+      z[static_cast<std::size_t>(r * 8 + c)] =
+          transformed[static_cast<std::size_t>(r)];
+    }
+  }
+
+  // Quantise: q = (z * quant[row]) >> 8, then fold into a per-block
+  // checksum via a balanced reduction tree (keeps the ILP high).
+  std::array<Reg, 8> qm;
+  for (int r = 0; r < 8; ++r) {
+    qm[static_cast<std::size_t>(r)] = b.load(qBase, r * 8);
+  }
+  std::vector<Reg> terms;
+  terms.reserve(64);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      const Reg scaled = b.mul(z[static_cast<std::size_t>(r * 8 + c)],
+                               qm[static_cast<std::size_t>(r)]);
+      const Reg quantised = b.sraImm(scaled, 8);
+      // Position-dependent mixing so permuted coefficients do not cancel.
+      terms.push_back(b.mulImm(quantised, 2 * (r * 8 + c) + 3));
+    }
+  }
+  while (terms.size() > 1) {
+    std::vector<Reg> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(b.add(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) {
+      next.push_back(terms.back());
+    }
+    terms = std::move(next);
+  }
+  const Reg blockSum = terms.front();
+
+  const Reg outOff = b.shlImm(blockIdx, 3);
+  const Reg outAddr = b.add(outBase, outOff);
+  b.store(outAddr, 0, blockSum);
+
+  // total = total * 31 + blockSum (accumulated across blocks).
+  const Reg scaledTotal = b.mulImm(total, 31);
+  b.binaryTo(Opcode::kAdd, total, scaledTotal, blockSum);
+
+  b.addImmTo(blockIdx, blockIdx, 1);
+  const Reg more = b.cmpLtImm(blockIdx, blocks);
+  b.brCond(more, loop, done);
+
+  b.setBlock(done);
+  b.store(outBase, std::int64_t{blocks} * 8, total);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

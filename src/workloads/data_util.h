@@ -1,0 +1,37 @@
+// Internal helpers for building workload input data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace casted::workloads::detail {
+
+// Appends a little-endian u64.
+inline void appendU64(std::vector<std::uint8_t>& bytes, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+// Appends a double by bit pattern.
+inline void appendF64(std::vector<std::uint8_t>& bytes, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, 8);
+  appendU64(bytes, bits);
+}
+
+// `count` deterministic pseudo-random bytes.
+inline std::vector<std::uint8_t> randomBytes(std::size_t count,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bytes(count);
+  for (std::uint8_t& byte : bytes) {
+    byte = static_cast<std::uint8_t>(rng.nextBelow(256));
+  }
+  return bytes;
+}
+
+}  // namespace casted::workloads::detail

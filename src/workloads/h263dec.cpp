@@ -1,0 +1,126 @@
+// h263dec stand-in: motion compensation + residual reconstruction + clamp.
+//
+// Shape: the H.263 decoder's hot path fetches a motion-displaced reference
+// block, adds the decoded residual and clamps to pixel range.  Medium-sized
+// basic blocks (one 4x4 macroblock per iteration), an even mix of loads,
+// ALU and stores — the paper's "representative medium-ILP decoder", and the
+// subject of its Fig. 10 sensitivity study.
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeH263dec(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "h263dec";
+  workload.suite = "MediaBench II video";
+
+  Program& prog = workload.program;
+  constexpr std::uint32_t kMb = 4;       // macroblock edge (pixels)
+  constexpr std::uint32_t kMbPerRow = 12;
+  const std::uint32_t mbRows = 4 * scale;
+  const std::uint32_t width = kMbPerRow * kMb;
+  const std::uint32_t height = mbRows * kMb;
+  const std::uint32_t mbCount = kMbPerRow * mbRows;
+
+  // Reference frame has an 8-pixel guard band right/below so displaced
+  // fetches stay in range.
+  const std::uint32_t refWidth = width + 8;
+  const std::uint32_t refHeight = height + 8;
+  const std::uint64_t refAddr = prog.allocateGlobal(
+      "ref", detail::randomBytes(std::size_t{refWidth} * refHeight, 0x263D));
+  const std::uint64_t mvAddr = prog.allocateGlobal(
+      "mv", detail::randomBytes(std::size_t{mbCount} * 2, 0x263E));
+  const std::uint64_t residAddr = prog.allocateGlobal(
+      "resid",
+      detail::randomBytes(std::size_t{mbCount} * kMb * kMb, 0x263F));
+  const std::uint64_t outputAddr =
+      prog.allocateGlobal("output", std::uint64_t{width} * height + 8);
+
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& rowLoop = b.createBlock("rowLoop");
+  BasicBlock& mbLoop = b.createBlock("mbLoop");
+  BasicBlock& rowEnd = b.createBlock("rowEnd");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg refBase = b.movImm(static_cast<std::int64_t>(refAddr));
+  const Reg mvBase = b.movImm(static_cast<std::int64_t>(mvAddr));
+  const Reg residBase = b.movImm(static_cast<std::int64_t>(residAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg checksum = b.movImm(0);
+  const Reg mbY = b.movImm(0);
+  const Reg mbX = b.movImm(0);  // re-initialised per row
+  const Reg mbIndex = b.movImm(0);
+  b.br(rowLoop);
+
+  b.setBlock(rowLoop);
+  b.movImmTo(mbX, 0);
+  b.br(mbLoop);
+
+  b.setBlock(mbLoop);
+  // Motion vector for this macroblock: dx, dy in [0, 8).
+  const Reg mvOff = b.shlImm(mbIndex, 1);
+  const Reg mvPtr = b.add(mvBase, mvOff);
+  const Reg dxRaw = b.loadB(mvPtr, 0);
+  const Reg dyRaw = b.loadB(mvPtr, 1);
+  const Reg dx = b.andImm(dxRaw, 7);
+  const Reg dy = b.andImm(dyRaw, 7);
+
+  // Reference fetch address: ref + (mbY*4 + dy) * refWidth + mbX*4 + dx.
+  const Reg pixY0 = b.add(b.shlImm(mbY, 2), dy);
+  const Reg pixX0 = b.add(b.shlImm(mbX, 2), dx);
+  const Reg refRow0 = b.mulImm(pixY0, refWidth);
+  const Reg refPtr = b.add(b.add(refBase, refRow0), pixX0);
+
+  // Residual base: resid + mbIndex * 16.
+  const Reg residPtr = b.add(residBase, b.shlImm(mbIndex, 4));
+
+  // Output base: output + (mbY*4) * width + mbX*4.
+  const Reg outRow0 = b.mulImm(b.shlImm(mbY, 2), width);
+  const Reg outPtr = b.add(b.add(outBase, outRow0), b.shlImm(mbX, 2));
+
+  const Reg zero = b.movImm(0);
+  const Reg cap = b.movImm(255);
+  Reg localSum = b.movImm(0);
+  for (std::uint32_t py = 0; py < kMb; ++py) {
+    for (std::uint32_t px = 0; px < kMb; ++px) {
+      const std::int64_t refOff =
+          static_cast<std::int64_t>(py) * refWidth + px;
+      const Reg refPix = b.loadB(refPtr, refOff);
+      const Reg resPix =
+          b.loadB(residPtr, static_cast<std::int64_t>(py * kMb + px));
+      // Residuals are signed-ish: centre around zero by subtracting 128.
+      const Reg centred = b.addImm(resPix, -128);
+      const Reg sum = b.add(refPix, centred);
+      const Reg clamped = b.max(zero, b.min(cap, sum));
+      b.storeB(outPtr, static_cast<std::int64_t>(py) * width + px, clamped);
+      localSum = b.add(localSum, clamped);
+    }
+  }
+  // checksum = checksum * 33 + localSum
+  const Reg scaled = b.mulImm(checksum, 33);
+  b.binaryTo(Opcode::kAdd, checksum, scaled, localSum);
+
+  b.addImmTo(mbIndex, mbIndex, 1);
+  b.addImmTo(mbX, mbX, 1);
+  const Reg moreX = b.cmpLtImm(mbX, kMbPerRow);
+  b.brCond(moreX, mbLoop, rowEnd);
+
+  b.setBlock(rowEnd);
+  b.addImmTo(mbY, mbY, 1);
+  const Reg moreY = b.cmpLtImm(mbY, mbRows);
+  b.brCond(moreY, rowLoop, done);
+
+  b.setBlock(done);
+  b.store(outBase, std::int64_t{width} * height, checksum);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

@@ -1,0 +1,145 @@
+// h263enc stand-in: SAD-based motion search with branchy best-candidate
+// tracking.
+//
+// Shape: the H.263 encoder's dominant kernel is block matching — many small
+// basic blocks, a serial SAD accumulation chain, and a data-dependent
+// branch per candidate to track the minimum.  The redundant code therefore
+// has LOW ILP and the frequent non-replicated instructions (branches and
+// stores) pull in many checks; this is the benchmark the paper uses to show
+// SCED scaling *worse* than NOED (§IV-B2, Amdahl's-law argument).
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeH263enc(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "h263enc";
+  workload.suite = "MediaBench II video";
+
+  Program& prog = workload.program;
+  constexpr std::uint32_t kMbEdge = 4;    // 4x4 blocks, 16 pixels
+  constexpr std::uint32_t kCands = 9;     // search positions
+  const std::uint32_t mbCount = 24 * scale;
+  const std::uint32_t width = 64;
+  // One row of macroblocks laid out side by side with an 8-pixel guard.
+  const std::uint32_t frameBytes = width * (kMbEdge + 8) + mbCount * kMbEdge;
+
+  const std::uint64_t curAddr = prog.allocateGlobal(
+      "cur", detail::randomBytes(frameBytes, 0xE263));
+  const std::uint64_t refAddr = prog.allocateGlobal(
+      "refframe", detail::randomBytes(frameBytes, 0xE264));
+  // Candidate displacements: (dx, dy) byte pairs.
+  std::vector<std::uint8_t> cands;
+  for (std::uint32_t k = 0; k < kCands; ++k) {
+    cands.push_back(static_cast<std::uint8_t>(k % 3));
+    cands.push_back(static_cast<std::uint8_t>(k / 3));
+  }
+  const std::uint64_t candAddr = prog.allocateGlobal("cands", cands);
+  // Per-macroblock (bestSad, bestCand) pairs + final checksum.
+  const std::uint64_t outputAddr =
+      prog.allocateGlobal("output", std::uint64_t{mbCount} * 16 + 8);
+
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& mbLoop = b.createBlock("mbLoop");
+  BasicBlock& candLoop = b.createBlock("candLoop");
+  BasicBlock& pixLoop = b.createBlock("pixLoop");
+  BasicBlock& candEval = b.createBlock("candEval");
+  BasicBlock& candBetter = b.createBlock("candBetter");
+  BasicBlock& candNext = b.createBlock("candNext");
+  BasicBlock& mbEnd = b.createBlock("mbEnd");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg curBase = b.movImm(static_cast<std::int64_t>(curAddr));
+  const Reg refBase = b.movImm(static_cast<std::int64_t>(refAddr));
+  const Reg candBase = b.movImm(static_cast<std::int64_t>(candAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg checksum = b.movImm(0);
+  const Reg mb = b.movImm(0);
+  // Loop-carried registers (defined here so they dominate all uses).
+  const Reg bestSad = b.movImm(0);
+  const Reg bestCand = b.movImm(0);
+  const Reg cand = b.movImm(0);
+  const Reg sad = b.movImm(0);
+  const Reg row = b.movImm(0);
+  const Reg curPtr = b.movImm(0);
+  const Reg refPtr = b.movImm(0);
+  b.br(mbLoop);
+
+  b.setBlock(mbLoop);
+  b.movImmTo(bestSad, 1 << 30);
+  b.movImmTo(bestCand, 0);
+  b.movImmTo(cand, 0);
+  // curPtr = cur + mb * kMbEdge
+  const Reg mbOff = b.shlImm(mb, 2);
+  b.binaryTo(Opcode::kAdd, curPtr, curBase, mbOff);
+  b.br(candLoop);
+
+  b.setBlock(candLoop);
+  const Reg candOff = b.shlImm(cand, 1);
+  const Reg candPtr = b.add(candBase, candOff);
+  const Reg dx = b.loadB(candPtr, 0);
+  const Reg dy = b.loadB(candPtr, 1);
+  const Reg dispRow = b.mulImm(dy, width);
+  const Reg disp = b.add(dispRow, dx);
+  const Reg refMb = b.add(refBase, mbOff);
+  b.binaryTo(Opcode::kAdd, refPtr, refMb, disp);
+  b.movImmTo(sad, 0);
+  b.movImmTo(row, 0);
+  b.br(pixLoop);
+
+  b.setBlock(pixLoop);
+  // One row of the block: 4 pixels, serially accumulated (a real SAD has
+  // exactly this dependence chain).
+  const Reg rowOff = b.mulImm(row, width);
+  const Reg curRow = b.add(curPtr, rowOff);
+  const Reg refRow = b.add(refPtr, rowOff);
+  for (std::uint32_t px = 0; px < kMbEdge; ++px) {
+    const Reg cp = b.loadB(curRow, px);
+    const Reg rp = b.loadB(refRow, px);
+    const Reg diff = b.abs(b.sub(cp, rp));
+    b.binaryTo(Opcode::kAdd, sad, sad, diff);
+  }
+  b.addImmTo(row, row, 1);
+  const Reg moreRows = b.cmpLtImm(row, kMbEdge);
+  b.brCond(moreRows, pixLoop, candEval);
+
+  b.setBlock(candEval);
+  const Reg better = b.cmpLt(sad, bestSad);
+  b.brCond(better, candBetter, candNext);
+
+  b.setBlock(candBetter);
+  b.movTo(bestSad, sad);
+  b.movTo(bestCand, cand);
+  b.br(candNext);
+
+  b.setBlock(candNext);
+  b.addImmTo(cand, cand, 1);
+  const Reg moreCands = b.cmpLtImm(cand, kCands);
+  b.brCond(moreCands, candLoop, mbEnd);
+
+  b.setBlock(mbEnd);
+  const Reg outOff = b.shlImm(mb, 4);
+  const Reg outPtr = b.add(outBase, outOff);
+  b.store(outPtr, 0, bestSad);
+  b.store(outPtr, 8, bestCand);
+  const Reg scaled = b.mulImm(checksum, 41);
+  const Reg mixed = b.add(scaled, bestSad);
+  b.binaryTo(Opcode::kAdd, checksum, mixed, bestCand);
+  b.addImmTo(mb, mb, 1);
+  const Reg moreMbs = b.cmpLtImm(mb, mbCount);
+  b.brCond(moreMbs, mbLoop, done);
+
+  b.setBlock(done);
+  b.store(outBase, std::int64_t{mbCount} * 16, checksum);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

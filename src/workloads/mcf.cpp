@@ -1,0 +1,88 @@
+// 181.mcf stand-in: pointer chasing over a scattered arc array.
+//
+// Shape: MCF's network-simplex traversal is the canonical low-ILP,
+// cache-miss-bound SPEC benchmark — a serial chain of dependent loads over
+// a working set far larger than L1.  The paper uses mcf to show NOED
+// scaling poorly with issue width while the redundant code's extra ILP
+// still helps SCED (§IV-B2).
+#include <numeric>
+
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeMcf(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "181.mcf";
+  workload.suite = "SPEC CINT2000";
+
+  Program& prog = workload.program;
+  // Working set: 1536 arcs x 16 bytes = 24 KiB — larger than L1 (16K) but
+  // L2-resident, walked for many laps so the steady state is L1-missing /
+  // L2-hitting, with the cold misses amortised (mcf's character: the chain
+  // stalls on the cache, not on issue slots).
+  const std::uint32_t arcCount = 1536;
+  const std::uint32_t steps = 12000 * scale;
+
+  // Build one full-cycle permutation so the chain never gets stuck, with a
+  // deterministic shuffle for scattered accesses.  Layout: arc i occupies
+  // 16 bytes: [next (u64) | cost (u64)].
+  std::vector<std::uint32_t> perm(arcCount);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(0x1C0FFEE);
+  for (std::uint32_t i = arcCount - 1; i > 0; --i) {
+    const std::uint32_t j =
+        static_cast<std::uint32_t>(rng.nextBelow(i + 1));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<std::uint8_t> arcs;
+  arcs.reserve(std::size_t{arcCount} * 16);
+  // Chain: perm[k] -> perm[k+1]; store per-slot successor.
+  std::vector<std::uint32_t> nextOf(arcCount);
+  for (std::uint32_t k = 0; k < arcCount; ++k) {
+    nextOf[perm[k]] = perm[(k + 1) % arcCount];
+  }
+  for (std::uint32_t i = 0; i < arcCount; ++i) {
+    detail::appendU64(arcs, nextOf[i]);
+    detail::appendU64(arcs, (std::uint64_t{i} * 2654435761u) & 0xffff);
+  }
+  const std::uint64_t arcAddr = prog.allocateGlobal("arcs", arcs);
+  const std::uint64_t outputAddr = prog.allocateGlobal("output", 16);
+
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& loop = b.createBlock("loop");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg arcBase = b.movImm(static_cast<std::int64_t>(arcAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg node = b.movImm(static_cast<std::int64_t>(perm[0]));
+  const Reg acc = b.movImm(0);
+  const Reg step = b.movImm(0);
+  b.br(loop);
+
+  b.setBlock(loop);
+  // addr = arcs + node * 16; node = next; acc += cost (all serial).
+  const Reg nodeOff = b.shlImm(node, 4);
+  const Reg arcPtr = b.add(arcBase, nodeOff);
+  const Reg cost = b.load(arcPtr, 8);
+  b.emit(Opcode::kLoad, {node}, {arcPtr}).imm = 0;
+  b.binaryTo(Opcode::kAdd, acc, acc, cost);
+  b.addImmTo(step, step, 1);
+  const Reg more = b.cmpLtImm(step, steps);
+  b.brCond(more, loop, done);
+
+  b.setBlock(done);
+  b.store(outBase, 0, acc);
+  b.store(outBase, 8, node);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

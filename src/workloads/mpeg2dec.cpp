@@ -1,0 +1,125 @@
+// mpeg2dec stand-in: blockwise inverse transform + saturated frame
+// reconstruction.
+//
+// Shape: like the MPEG-2 decoder's IDCT + motion-compensated add, the
+// kernel inverse-transforms an 8x8 coefficient block (straight-line
+// butterflies: good ILP) and then writes the whole reconstructed block back
+// with per-pixel saturation — a store-dense decode, so the error-detection
+// pass emits many store-operand checks inside large blocks.
+#include <array>
+
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeMpeg2dec(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "mpeg2dec";
+  workload.suite = "MediaBench II video";
+
+  Program& prog = workload.program;
+  const std::uint32_t blocks = 10 * scale;
+
+  const std::uint64_t coeffAddr = prog.allocateGlobal(
+      "coeff", detail::randomBytes(std::size_t{blocks} * 64, 0x3562));
+  const std::uint64_t predAddr = prog.allocateGlobal(
+      "pred", detail::randomBytes(std::size_t{blocks} * 64, 0x3563));
+  const std::uint64_t outputAddr =
+      prog.allocateGlobal("output", std::uint64_t{blocks} * 64 + 8);
+
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& loop = b.createBlock("loop");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg coeffBase = b.movImm(static_cast<std::int64_t>(coeffAddr));
+  const Reg predBase = b.movImm(static_cast<std::int64_t>(predAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg blockIdx = b.movImm(0);
+  const Reg checksum = b.movImm(0);
+  b.br(loop);
+
+  b.setBlock(loop);
+  const Reg blockOff = b.shlImm(blockIdx, 6);
+  const Reg cPtr = b.add(coeffBase, blockOff);
+  const Reg pPtr = b.add(predBase, blockOff);
+  const Reg oPtr = b.add(outBase, blockOff);
+
+  // Load coefficients (centred to roughly +-128).
+  std::array<Reg, 64> c;
+  for (int k = 0; k < 64; ++k) {
+    c[static_cast<std::size_t>(k)] = b.addImm(b.loadB(cPtr, k), -128);
+  }
+
+  // Row-wise 8-point inverse butterfly (even/odd recombination).
+  auto idct8 = [&](const std::array<Reg, 8>& in) {
+    std::array<Reg, 8> out;
+    const Reg e0 = b.add(in[0], in[4]);
+    const Reg e1 = b.sub(in[0], in[4]);
+    const Reg e2 = b.add(in[2], b.sraImm(in[6], 1));
+    const Reg e3 = b.sub(b.sraImm(in[2], 1), in[6]);
+    const Reg a0 = b.add(e0, e2);
+    const Reg a1 = b.add(e1, e3);
+    const Reg a2 = b.sub(e1, e3);
+    const Reg a3 = b.sub(e0, e2);
+    const Reg o0 = b.add(in[1], b.sraImm(in[7], 1));
+    const Reg o1 = b.sub(in[3], b.sraImm(in[5], 1));
+    const Reg o2 = b.add(in[5], b.sraImm(in[3], 1));
+    const Reg o3 = b.sub(in[7], b.sraImm(in[1], 2));
+    out[0] = b.add(a0, o0);
+    out[7] = b.sub(a0, o0);
+    out[1] = b.add(a1, o1);
+    out[6] = b.sub(a1, o1);
+    out[2] = b.add(a2, o2);
+    out[5] = b.sub(a2, o2);
+    out[3] = b.add(a3, o3);
+    out[4] = b.sub(a3, o3);
+    return out;
+  };
+
+  std::array<Reg, 64> r;
+  for (int row = 0; row < 8; ++row) {
+    std::array<Reg, 8> in;
+    for (int col = 0; col < 8; ++col) {
+      in[static_cast<std::size_t>(col)] =
+          c[static_cast<std::size_t>(row * 8 + col)];
+    }
+    const std::array<Reg, 8> out = idct8(in);
+    for (int col = 0; col < 8; ++col) {
+      r[static_cast<std::size_t>(row * 8 + col)] =
+          out[static_cast<std::size_t>(col)];
+    }
+  }
+
+  // Reconstruct: pixel = clamp(pred + (r >> 3), 0, 255); store all 64.
+  const Reg zero = b.movImm(0);
+  const Reg cap = b.movImm(255);
+  Reg localSum = b.movImm(0);
+  for (int k = 0; k < 64; ++k) {
+    const Reg pred = b.loadB(pPtr, k);
+    const Reg delta = b.sraImm(r[static_cast<std::size_t>(k)], 3);
+    const Reg sum = b.add(pred, delta);
+    const Reg clamped = b.max(zero, b.min(cap, sum));
+    b.storeB(oPtr, k, clamped);
+    localSum = b.add(localSum, clamped);
+  }
+  const Reg scaled = b.mulImm(checksum, 37);
+  b.binaryTo(Opcode::kAdd, checksum, scaled, localSum);
+
+  b.addImmTo(blockIdx, blockIdx, 1);
+  const Reg more = b.cmpLtImm(blockIdx, blocks);
+  b.brCond(more, loop, done);
+
+  b.setBlock(done);
+  b.store(outBase, std::int64_t{blocks} * 64, checksum);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

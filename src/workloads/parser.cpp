@@ -1,0 +1,144 @@
+// 197.parser stand-in: table-driven DFA tokenizer.
+//
+// Shape: the SPEC parser spends its time in byte-at-a-time, table-driven
+// state transitions with data-dependent branching — small basic blocks, a
+// serial state dependence, and dense control flow.  Every branch pulls in
+// operand checks, making this (with h263enc) the check-heaviest workload.
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeParser(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "197.parser";
+  workload.suite = "SPEC CINT2000";
+
+  Program& prog = workload.program;
+  const std::uint32_t textLen = 1500 * scale;
+
+  // Text: words, digits, spaces and punctuation, deterministic.
+  std::vector<std::uint8_t> text(textLen);
+  {
+    Rng rng(0x9A85E5);
+    for (std::uint32_t i = 0; i < textLen; ++i) {
+      const std::uint64_t kind = rng.nextBelow(100);
+      if (kind < 55) {
+        text[i] = static_cast<std::uint8_t>('a' + rng.nextBelow(26));
+      } else if (kind < 70) {
+        text[i] = static_cast<std::uint8_t>('0' + rng.nextBelow(10));
+      } else if (kind < 90) {
+        text[i] = ' ';
+      } else {
+        text[i] = static_cast<std::uint8_t>(".,;!?"[rng.nextBelow(5)]);
+      }
+    }
+  }
+  const std::uint64_t textAddr = prog.allocateGlobal("text", text);
+
+  // Character classes: 0 = space, 1 = letter, 2 = digit, 3 = punct.
+  std::vector<std::uint8_t> classes(256, 3);
+  classes[' '] = 0;
+  for (int c = 'a'; c <= 'z'; ++c) classes[static_cast<std::size_t>(c)] = 1;
+  for (int c = 'A'; c <= 'Z'; ++c) classes[static_cast<std::size_t>(c)] = 1;
+  for (int c = '0'; c <= '9'; ++c) classes[static_cast<std::size_t>(c)] = 2;
+  const std::uint64_t classAddr = prog.allocateGlobal("classes", classes);
+
+  // DFA over 4 states x 4 classes.  States: 0 = gap, 1 = in-word,
+  // 2 = in-number, 3 = after-punct.  A transition *into* state 1 (resp. 2)
+  // from outside starts a word (number) token.
+  constexpr std::uint8_t kDfa[4][4] = {
+      //            space  letter digit  punct
+      /*gap*/      {0,     1,     2,     3},
+      /*word*/     {0,     1,     1,     3},
+      /*number*/   {0,     1,     2,     3},
+      /*punct*/    {0,     1,     2,     3},
+  };
+  std::vector<std::uint8_t> dfa;
+  for (const auto& row : kDfa) {
+    for (std::uint8_t cell : row) {
+      dfa.push_back(cell);
+    }
+  }
+  const std::uint64_t dfaAddr = prog.allocateGlobal("dfa", dfa);
+  // Output: word count, number count, punct count, final state.
+  const std::uint64_t outputAddr = prog.allocateGlobal("output", 32);
+
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& loop = b.createBlock("loop");
+  BasicBlock& newTok = b.createBlock("newTok");
+  BasicBlock& isWord = b.createBlock("isWord");
+  BasicBlock& notWord = b.createBlock("notWord");
+  BasicBlock& isNum = b.createBlock("isNum");
+  BasicBlock& isPunct = b.createBlock("isPunct");
+  BasicBlock& next = b.createBlock("next");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg textBase = b.movImm(static_cast<std::int64_t>(textAddr));
+  const Reg classBase = b.movImm(static_cast<std::int64_t>(classAddr));
+  const Reg dfaBase = b.movImm(static_cast<std::int64_t>(dfaAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg pos = b.movImm(0);
+  const Reg state = b.movImm(0);
+  const Reg words = b.movImm(0);
+  const Reg numbers = b.movImm(0);
+  const Reg puncts = b.movImm(0);
+  const Reg newState = b.movImm(0);
+  b.br(loop);
+
+  b.setBlock(loop);
+  const Reg chPtr = b.add(textBase, pos);
+  const Reg ch = b.loadB(chPtr, 0);
+  const Reg clPtr = b.add(classBase, ch);
+  const Reg cls = b.loadB(clPtr, 0);
+  const Reg rowOff = b.shlImm(state, 2);
+  const Reg cell = b.add(rowOff, cls);
+  const Reg dfaPtr = b.add(dfaBase, cell);
+  b.emit(Opcode::kLoadB, {newState}, {dfaPtr}).imm = 0;
+  const Reg changed = b.cmpEq(newState, state);
+  b.brCond(changed, next, newTok);
+
+  b.setBlock(newTok);
+  const Reg wasWord = b.cmpEqImm(newState, 1);
+  b.brCond(wasWord, isWord, notWord);
+
+  b.setBlock(isWord);
+  b.addImmTo(words, words, 1);
+  b.br(next);
+
+  b.setBlock(notWord);
+  const Reg wasNum = b.cmpEqImm(newState, 2);
+  b.brCond(wasNum, isNum, isPunct);
+
+  b.setBlock(isNum);
+  b.addImmTo(numbers, numbers, 1);
+  b.br(next);
+
+  b.setBlock(isPunct);
+  const Reg wasPunct = b.cmpEqImm(newState, 3);
+  const Reg bump = b.select(wasPunct, b.movImm(1), b.movImm(0));
+  b.binaryTo(Opcode::kAdd, puncts, puncts, bump);
+  b.br(next);
+
+  b.setBlock(next);
+  b.movTo(state, newState);
+  b.addImmTo(pos, pos, 1);
+  const Reg more = b.cmpLtImm(pos, textLen);
+  b.brCond(more, loop, done);
+
+  b.setBlock(done);
+  b.store(outBase, 0, words);
+  b.store(outBase, 8, numbers);
+  b.store(outBase, 16, puncts);
+  b.store(outBase, 24, state);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

@@ -1,0 +1,34 @@
+#include "support/check.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+const std::vector<std::string>& workloadNames() {
+  static const std::vector<std::string> kNames = {
+      "cjpeg",   "h263dec", "mpeg2dec",   "h263enc",
+      "175.vpr", "181.mcf", "197.parser",
+  };
+  return kNames;
+}
+
+Workload makeWorkload(const std::string& name, std::uint32_t scale) {
+  if (name == "cjpeg") return makeCjpeg(scale);
+  if (name == "h263dec") return makeH263dec(scale);
+  if (name == "mpeg2dec") return makeMpeg2dec(scale);
+  if (name == "h263enc") return makeH263enc(scale);
+  if (name == "175.vpr" || name == "vpr") return makeVpr(scale);
+  if (name == "181.mcf" || name == "mcf") return makeMcf(scale);
+  if (name == "197.parser" || name == "parser") return makeParser(scale);
+  throw FatalError("unknown workload: " + name);
+}
+
+std::vector<Workload> makeAllWorkloads(std::uint32_t scale) {
+  std::vector<Workload> all;
+  all.reserve(workloadNames().size());
+  for (const std::string& name : workloadNames()) {
+    all.push_back(makeWorkload(name, scale));
+  }
+  return all;
+}
+
+}  // namespace casted::workloads

@@ -1,0 +1,130 @@
+// 175.vpr stand-in: FPGA-placement bounding-box cost evaluation.
+//
+// Shape: VPR's placement inner loop computes, per net, the half-perimeter
+// bounding box of its terminals and accumulates a weighted floating-point
+// cost; an acceptance test then updates a small amount of state.  Mixed
+// integer/FP work with moderate ILP and a call to a helper routine — the
+// call exercises Algorithm 1's shadow-COPY path for non-duplicated defs,
+// and the helper is the natural candidate to mark `unprotected` in the
+// library-vulnerability experiment.
+#include "ir/builder.h"
+#include "workloads/data_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+
+Workload makeVpr(std::uint32_t scale) {
+  using namespace ir;
+  Workload workload;
+  workload.name = "175.vpr";
+  workload.suite = "SPEC CINT2000";
+
+  Program& prog = workload.program;
+  const std::uint32_t nets = 48 * scale;
+
+  // Per net: 4 terminals, each (x, y) bytes -> 8 bytes.
+  const std::uint64_t netAddr = prog.allocateGlobal(
+      "nets", detail::randomBytes(std::size_t{nets} * 8, 0x7799));
+  // Per-net FP weight.
+  std::vector<std::uint8_t> weights;
+  {
+    Rng rng(0x779A);
+    for (std::uint32_t n = 0; n < nets; ++n) {
+      detail::appendF64(weights, 0.5 + rng.nextDouble());
+    }
+  }
+  const std::uint64_t weightAddr = prog.allocateGlobal("weights", weights);
+  // Output: accumulated cost bits, accepted-move count, checksum.
+  const std::uint64_t outputAddr = prog.allocateGlobal("output", 24);
+  const std::uint64_t scratchAddr = prog.allocateGlobal("flags", nets);
+
+  // Helper: span(min0, max0) -> max - min, via a real call.
+  Function& spanFn = prog.addFunction("span");
+  {
+    const Reg lo = spanFn.newReg(RegClass::kGp);
+    const Reg hi = spanFn.newReg(RegClass::kGp);
+    spanFn.params() = {lo, hi};
+    spanFn.returnClasses() = {RegClass::kGp};
+    IrBuilder fb(spanFn);
+    BasicBlock& body = fb.createBlock("body");
+    fb.setBlock(body);
+    const Reg span = fb.sub(hi, lo);
+    fb.ret({span});
+  }
+
+  Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& loop = b.createBlock("loop");
+  BasicBlock& accept = b.createBlock("accept");
+  BasicBlock& next = b.createBlock("next");
+  BasicBlock& done = b.createBlock("done");
+
+  b.setBlock(entry);
+  const Reg netBase = b.movImm(static_cast<std::int64_t>(netAddr));
+  const Reg weightBase = b.movImm(static_cast<std::int64_t>(weightAddr));
+  const Reg outBase = b.movImm(static_cast<std::int64_t>(outputAddr));
+  const Reg flagBase = b.movImm(static_cast<std::int64_t>(scratchAddr));
+  const Reg net = b.movImm(0);
+  const Reg accepted = b.movImm(0);
+  const Reg checksum = b.movImm(0);
+  const Reg cost = b.fMovImm(0.0);
+  b.br(loop);
+
+  b.setBlock(loop);
+  const Reg netOff = b.shlImm(net, 3);
+  const Reg netPtr = b.add(netBase, netOff);
+  // Terminals.
+  Reg xs[4];
+  Reg ys[4];
+  for (int t = 0; t < 4; ++t) {
+    xs[t] = b.loadB(netPtr, 2 * t);
+    ys[t] = b.loadB(netPtr, 2 * t + 1);
+  }
+  // Bounding box via min/max trees.
+  const Reg xMin = b.min(b.min(xs[0], xs[1]), b.min(xs[2], xs[3]));
+  const Reg xMax = b.max(b.max(xs[0], xs[1]), b.max(xs[2], xs[3]));
+  const Reg yMin = b.min(b.min(ys[0], ys[1]), b.min(ys[2], ys[3]));
+  const Reg yMax = b.max(b.max(ys[0], ys[1]), b.max(ys[2], ys[3]));
+  const Reg xSpan = b.call(spanFn, {xMin, xMax})[0];
+  const Reg ySpan = b.call(spanFn, {yMin, yMax})[0];
+  const Reg halfPerim = b.add(xSpan, ySpan);
+
+  // cost += halfPerim * weight[net]
+  const Reg wOff = b.shlImm(net, 3);
+  const Reg wPtr = b.add(weightBase, wOff);
+  const Reg w = b.fLoad(wPtr, 0);
+  const Reg hpF = b.i2f(halfPerim);
+  const Reg term = b.fMul(hpF, w);
+  b.emit(Opcode::kFAdd, {cost}, {cost, term});
+
+  // Acceptance test: congested nets (span above threshold) are flagged.
+  const Reg isWide = b.cmpGtImm(halfPerim, 180);
+  b.brCond(isWide, accept, next);
+
+  b.setBlock(accept);
+  const Reg one = b.movImm(1);
+  const Reg flagPtr = b.add(flagBase, net);
+  b.storeB(flagPtr, 0, one);
+  b.addImmTo(accepted, accepted, 1);
+  b.br(next);
+
+  b.setBlock(next);
+  const Reg scaled = b.mulImm(checksum, 29);
+  b.binaryTo(Opcode::kAdd, checksum, scaled, halfPerim);
+  b.addImmTo(net, net, 1);
+  const Reg more = b.cmpLtImm(net, nets);
+  b.brCond(more, loop, done);
+
+  b.setBlock(done);
+  const Reg costBits = b.f2i(b.fMul(cost, b.fMovImm(1024.0)));
+  b.store(outBase, 0, costBits);
+  b.store(outBase, 8, accepted);
+  b.store(outBase, 16, checksum);
+  b.halt(b.movImm(0));
+
+  return workload;
+}
+
+}  // namespace casted::workloads

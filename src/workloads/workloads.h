@@ -1,0 +1,58 @@
+// Benchmark workloads (paper Table II).
+//
+// The paper evaluates on MediaBench II video (cjpeg, h263dec, mpeg2dec,
+// h263enc) and SPEC CINT2000 (175.vpr, 181.mcf, 197.parser).  Those sources
+// cannot be compiled to this IR, so each benchmark is re-authored as a
+// kernel with the structural properties the paper's analysis relies on —
+// ILP, check density, branchiness, memory behaviour (see DESIGN.md §4):
+//
+//   cjpeg     8x8 forward DCT + quantisation, big straight-line blocks
+//             (high ILP, output is compressed checksums)
+//   h263dec   motion compensation + residual decode + clamp (medium ILP)
+//   mpeg2dec  inverse transform + saturated reconstruction (store-heavy
+//             decode)
+//   h263enc   SAD motion search with branchy min-tracking (small blocks,
+//             low-ILP redundant code, many checks)
+//   vpr       bounding-box placement cost with FP accumulation (mixed)
+//   mcf       pointer chasing over a scattered arc array (low ILP,
+//             cache-miss bound)
+//   parser    table-driven DFA tokenizer (branch- and byte-load-dense)
+//
+// Every workload is deterministic, halts with exit code 0, and writes its
+// results to a global symbol named "output" — what the fault classifier
+// diffs against the golden run.  `scale` multiplies the amount of work
+// (roughly linearly in dynamic instructions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace casted::workloads {
+
+struct Workload {
+  std::string name;
+  std::string suite;
+  ir::Program program;
+};
+
+Workload makeCjpeg(std::uint32_t scale = 1);
+Workload makeH263dec(std::uint32_t scale = 1);
+Workload makeMpeg2dec(std::uint32_t scale = 1);
+Workload makeH263enc(std::uint32_t scale = 1);
+Workload makeVpr(std::uint32_t scale = 1);
+Workload makeMcf(std::uint32_t scale = 1);
+Workload makeParser(std::uint32_t scale = 1);
+
+// Names in the paper's Table II order.
+const std::vector<std::string>& workloadNames();
+
+// Factory by name; throws FatalError for unknown names.
+Workload makeWorkload(const std::string& name, std::uint32_t scale = 1);
+
+// All seven, in Table II order.
+std::vector<Workload> makeAllWorkloads(std::uint32_t scale = 1);
+
+}  // namespace casted::workloads

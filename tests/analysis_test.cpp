@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::core {
+namespace {
+
+using passes::Scheme;
+
+TEST(AnalysisTest, CountsMatchProgram) {
+  const workloads::Workload wl = workloads::makeH263dec(1);
+  const CompiledProgram bin =
+      compile(wl.program, testutil::machine(2, 1), Scheme::kCasted);
+  const ScheduleAnalysis analysis = analyze(bin);
+  EXPECT_EQ(analysis.instructions, bin.program.insnCount());
+  std::uint64_t clusterSum = 0;
+  for (std::uint64_t count : analysis.perCluster) {
+    clusterSum += count;
+  }
+  EXPECT_EQ(clusterSum, analysis.instructions);
+  std::uint64_t originSum = 0;
+  for (std::uint64_t count : analysis.byOrigin) {
+    originSum += count;
+  }
+  EXPECT_EQ(originSum, analysis.instructions);
+  EXPECT_GT(analysis.staticCycles, 0u);
+}
+
+TEST(AnalysisTest, ScedHasNoCrossClusterTraffic) {
+  const workloads::Workload wl = workloads::makeH263dec(1);
+  const CompiledProgram bin =
+      compile(wl.program, testutil::machine(2, 1), Scheme::kSced);
+  const ScheduleAnalysis analysis = analyze(bin);
+  EXPECT_EQ(analysis.crossClusterTransfers, 0u);
+  EXPECT_EQ(analysis.fractionOffCluster0(), 0.0);
+  EXPECT_GT(analysis.valueEdges, 0u);
+}
+
+TEST(AnalysisTest, DcedCommunicatesOnChecks) {
+  const workloads::Workload wl = workloads::makeH263dec(1);
+  const CompiledProgram bin =
+      compile(wl.program, testutil::machine(2, 1), Scheme::kDced);
+  const ScheduleAnalysis analysis = analyze(bin);
+  // Every check reads one value from each cluster: cross traffic is
+  // inevitable for DCED (the paper's §IV-B5 bottleneck).
+  EXPECT_GT(analysis.crossClusterTransfers, 0u);
+  EXPECT_GT(analysis.fractionOffCluster0(), 0.3);
+}
+
+TEST(AnalysisTest, CastedCommunicatesLessThanDcedAtHighDelay) {
+  const workloads::Workload wl = workloads::makeH263dec(1);
+  const arch::MachineConfig machine = testutil::machine(2, 4);
+  const ScheduleAnalysis dced =
+      analyze(compile(wl.program, machine, Scheme::kDced));
+  const ScheduleAnalysis casted =
+      analyze(compile(wl.program, machine, Scheme::kCasted));
+  // At delay 4 CASTED collapses towards one cluster: fewer transfers.
+  EXPECT_LT(casted.crossClusterTransfers, dced.crossClusterTransfers);
+}
+
+TEST(AnalysisTest, UtilisationWithinBounds) {
+  const workloads::Workload wl = workloads::makeCjpeg(1);
+  for (Scheme scheme : passes::kAllSchemes) {
+    const CompiledProgram bin =
+        compile(wl.program, testutil::machine(2, 1), scheme);
+    const ScheduleAnalysis analysis = analyze(bin);
+    EXPECT_GT(analysis.slotUtilisation, 0.0);
+    EXPECT_LE(analysis.slotUtilisation, 1.0);
+  }
+}
+
+TEST(AnalysisTest, NoedIsAllOriginal) {
+  const workloads::Workload wl = workloads::makeParser(1);
+  const CompiledProgram bin =
+      compile(wl.program, testutil::machine(2, 1), Scheme::kNoed);
+  const ScheduleAnalysis analysis = analyze(bin);
+  EXPECT_EQ(analysis.byOrigin[static_cast<int>(ir::InsnOrigin::kOriginal)],
+            analysis.instructions);
+}
+
+TEST(AnalysisTest, ToStringMentionsKeyNumbers) {
+  const workloads::Workload wl = workloads::makeParser(1);
+  const CompiledProgram bin =
+      compile(wl.program, testutil::machine(2, 1), Scheme::kCasted);
+  const std::string text = analyze(bin).toString();
+  EXPECT_NE(text.find("instructions"), std::string::npos);
+  EXPECT_NE(text.find("cluster0"), std::string::npos);
+  EXPECT_NE(text.find("inter-cluster transfers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace casted::core

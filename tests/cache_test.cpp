@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+#include "sim/memory.h"
+#include "support/check.h"
+#include "test_util.h"
+
+namespace casted::sim {
+namespace {
+
+arch::CacheLevelConfig smallLevel() {
+  // 4 sets x 2 ways x 64B = 512B.
+  return {"T1", 512, 64, 2, 1};
+}
+
+TEST(CacheLevelTest, MissThenHit) {
+  CacheLevel level(smallLevel());
+  EXPECT_FALSE(level.lookup(0x1000));
+  level.fill(0x1000);
+  EXPECT_TRUE(level.lookup(0x1000));
+  EXPECT_EQ(level.stats().hits, 1u);
+  EXPECT_EQ(level.stats().misses, 1u);
+}
+
+TEST(CacheLevelTest, SameLineDifferentOffsetHits) {
+  CacheLevel level(smallLevel());
+  level.fill(0x1000);
+  EXPECT_TRUE(level.lookup(0x1000 + 63));
+  EXPECT_FALSE(level.lookup(0x1000 + 64));  // next line
+}
+
+TEST(CacheLevelTest, LruEvictionWithinSet) {
+  CacheLevel level(smallLevel());
+  // Three lines mapping to the same set (set stride = 4 lines * 64B).
+  const std::uint64_t a = 0x0000;
+  const std::uint64_t b = a + 4 * 64;
+  const std::uint64_t c = b + 4 * 64;
+  level.fill(a);
+  level.fill(b);
+  EXPECT_TRUE(level.lookup(a));  // a is now MRU
+  level.fill(c);                 // evicts b (LRU)
+  EXPECT_TRUE(level.lookup(a));
+  EXPECT_FALSE(level.lookup(b));
+  EXPECT_TRUE(level.lookup(c));
+}
+
+TEST(CacheLevelTest, ResetClearsStateAndStats) {
+  CacheLevel level(smallLevel());
+  level.fill(0x1000);
+  level.lookup(0x1000);
+  level.reset();
+  EXPECT_FALSE(level.lookup(0x1000));
+  EXPECT_EQ(level.stats().hits, 0u);
+}
+
+TEST(CacheHierarchyTest, LatenciesFollowHitLevel) {
+  const arch::CacheConfig config;  // the paper's Table I hierarchy
+  CacheHierarchy caches(config);
+  // Cold: full miss.
+  EXPECT_EQ(caches.access(0x10000), config.memoryLatency);
+  // Warm: L1 hit.
+  EXPECT_EQ(caches.access(0x10000), config.levels[0].latency);
+  EXPECT_EQ(caches.memoryAccesses(), 1u);
+}
+
+TEST(CacheHierarchyTest, L2HitAfterL1Eviction) {
+  const arch::CacheConfig config;
+  CacheHierarchy caches(config);
+  caches.access(0x10000);
+  // Blow L1 (16K, 4-way, 64B lines): walk 32K of conflicting lines.
+  for (std::uint64_t addr = 0x100000; addr < 0x100000 + 32 * 1024;
+       addr += 64) {
+    caches.access(addr);
+  }
+  // The original line left L1 but is still in L2.
+  EXPECT_EQ(caches.access(0x10000), config.levels[1].latency);
+}
+
+TEST(CacheHierarchyTest, InclusiveFillsRefillFasterLevels) {
+  const arch::CacheConfig config;
+  CacheHierarchy caches(config);
+  caches.access(0x4000);               // fills all levels
+  caches.reset();
+  EXPECT_EQ(caches.access(0x4000), config.memoryLatency);
+}
+
+TEST(CacheHierarchyTest, InvalidGeometryRejected) {
+  arch::CacheConfig config;
+  config.levels[0].blockBytes = 48;  // not a power of two
+  EXPECT_THROW(CacheHierarchy{config}, FatalError);
+
+  arch::CacheConfig config2;
+  config2.levels[1].latency = 0;  // not increasing
+  EXPECT_THROW(CacheHierarchy{config2}, FatalError);
+
+  arch::CacheConfig config3;
+  config3.memoryLatency = 5;  // below L3
+  EXPECT_THROW(CacheHierarchy{config3}, FatalError);
+}
+
+// --- Memory --------------------------------------------------------------------
+
+TEST(MemoryTest, ReadWriteRoundTrip) {
+  ir::Program prog;
+  const std::uint64_t addr = prog.allocateGlobal("x", 32);
+  Memory memory(prog, 0);
+  memory.writeU64(addr, 0x1122334455667788ULL);
+  EXPECT_EQ(memory.readU64(addr), 0x1122334455667788ULL);
+  EXPECT_EQ(memory.readU8(addr), 0x88);  // little endian
+  memory.writeU8(addr + 1, 0xff);
+  EXPECT_EQ(memory.readU64(addr), 0x112233445566ff88ULL);
+  memory.writeF64(addr + 8, 2.5);
+  EXPECT_EQ(memory.readF64(addr + 8), 2.5);
+}
+
+TEST(MemoryTest, InitialImageFromProgram) {
+  ir::Program prog;
+  const std::uint64_t addr =
+      prog.allocateGlobal("data", std::vector<std::uint8_t>{9, 8, 7});
+  const Memory memory(prog, 0);
+  EXPECT_EQ(memory.readU8(addr), 9);
+  EXPECT_EQ(memory.readU8(addr + 2), 7);
+}
+
+TEST(MemoryTest, HeapZeroed) {
+  ir::Program prog;
+  prog.allocateGlobal("data", 8);
+  const Memory memory(prog, 64);
+  EXPECT_EQ(memory.readU64(prog.globalEnd()), 0u);
+}
+
+TEST(MemoryTest, GuardPageFaults) {
+  ir::Program prog;
+  prog.allocateGlobal("data", 8);
+  const Memory memory(prog, 0);
+  EXPECT_THROW(memory.readU8(0), TrapError);
+  EXPECT_THROW(memory.readU8(ir::Program::kGlobalBase - 1), TrapError);
+}
+
+TEST(MemoryTest, OutOfArenaFaults) {
+  ir::Program prog;
+  prog.allocateGlobal("data", 8);
+  Memory memory(prog, 0);
+  EXPECT_THROW(memory.readU64(memory.arenaEnd()), TrapError);
+  EXPECT_THROW(memory.readU8(memory.arenaEnd()), TrapError);
+  // Last byte is fine.
+  EXPECT_NO_THROW(memory.readU8(memory.arenaEnd() - 1));
+}
+
+TEST(MemoryTest, MisalignedWordFaults) {
+  ir::Program prog;
+  prog.allocateGlobal("data", 32);
+  Memory memory(prog, 0);
+  const std::uint64_t addr = prog.symbol("data").address;
+  EXPECT_THROW(memory.readU64(addr + 4), TrapError);
+  EXPECT_THROW(memory.writeF64(addr + 1, 1.0), TrapError);
+  EXPECT_NO_THROW(memory.readU64(addr + 8));
+}
+
+TEST(MemoryTest, WrapAroundAddressFaults) {
+  ir::Program prog;
+  prog.allocateGlobal("data", 8);
+  const Memory memory(prog, 0);
+  EXPECT_THROW(memory.readU64(~0ULL - 3), TrapError);
+}
+
+TEST(MemoryTest, SnapshotCopiesRange) {
+  ir::Program prog;
+  const std::uint64_t addr =
+      prog.allocateGlobal("data", std::vector<std::uint8_t>{1, 2, 3, 4});
+  const Memory memory(prog, 0);
+  const std::vector<std::uint8_t> snap = memory.snapshot(addr + 1, 2);
+  EXPECT_EQ(snap, (std::vector<std::uint8_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace casted::sim

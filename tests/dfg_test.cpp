@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "dfg/dfg.h"
+#include "ir/builder.h"
+#include "passes/error_detection.h"
+#include "test_util.h"
+
+namespace casted::dfg {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::Reg;
+
+struct BlockHarness {
+  Program prog;
+  Function* fn = nullptr;
+  BasicBlock* block = nullptr;
+  IrBuilder* builder = nullptr;
+
+  BlockHarness() {
+    fn = &prog.addFunction("main");
+    builder_ = std::make_unique<IrBuilder>(*fn);
+    block = &builder_->createBlock("entry");
+    builder_->setBlock(*block);
+    builder = builder_.get();
+  }
+
+ private:
+  std::unique_ptr<IrBuilder> builder_;
+};
+
+bool hasEdge(const DataFlowGraph& graph, std::uint32_t from, std::uint32_t to,
+             DepKind kind) {
+  for (const Edge& edge : graph.succs(from)) {
+    if (edge.to == to && edge.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(DfgTest, RawEdgeWithProducerLatency) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg a = b.movImm(1);          // node 0
+  const Reg c = b.mul(a, a);          // node 1: RAW on node 0
+  b.halt(c);                          // node 2: RAW on node 1
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const DataFlowGraph graph(*h.block, config);
+  ASSERT_EQ(graph.size(), 3u);
+  EXPECT_TRUE(hasEdge(graph, 0, 1, DepKind::kData));
+  EXPECT_TRUE(hasEdge(graph, 1, 2, DepKind::kData));
+  // The mul->halt edge carries the multiplier latency.
+  for (const Edge& edge : graph.succs(1)) {
+    if (edge.to == 2) {
+      EXPECT_EQ(edge.latency, config.latencies.intMul);
+    }
+  }
+}
+
+TEST(DfgTest, IndependentInsnsHaveNoEdges) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg a = b.movImm(1);
+  const Reg c = b.movImm(2);
+  const Reg d = b.add(a, a);
+  const Reg e = b.add(c, c);
+  b.emit(Opcode::kHalt, {}, {b.add(d, e)});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_FALSE(hasEdge(graph, 0, 1, DepKind::kData));
+  EXPECT_FALSE(hasEdge(graph, 2, 3, DepKind::kData));
+}
+
+TEST(DfgTest, WarAndWawEdges) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg a = b.movImm(1);      // 0: def a
+  const Reg c = b.add(a, a);      // 1: use a
+  b.movImmTo(a, 2);               // 2: redef a -> WAW(0,2), WAR(1,2)
+  b.emit(Opcode::kHalt, {}, {c});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_TRUE(hasEdge(graph, 0, 2, DepKind::kOutput));
+  EXPECT_TRUE(hasEdge(graph, 1, 2, DepKind::kAnti));
+}
+
+TEST(DfgTest, StoreLoadSameAddressOrdered) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg base = b.movImm(0x2000);   // 0
+  b.store(base, 0, base);              // 1
+  const Reg v = b.load(base, 0);       // 2: must see the store
+  b.emit(Opcode::kHalt, {}, {v});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_TRUE(hasEdge(graph, 1, 2, DepKind::kMemory));
+}
+
+TEST(DfgTest, DisjointOffsetsSameBaseDisambiguated) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg base = b.movImm(0x2000);   // 0
+  b.store(base, 0, base);              // 1
+  const Reg v = b.load(base, 8);       // 2: different 8-byte range
+  b.emit(Opcode::kHalt, {}, {v});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_FALSE(hasEdge(graph, 1, 2, DepKind::kMemory));
+}
+
+TEST(DfgTest, OverlappingByteAndWordConflict) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg base = b.movImm(0x2000);
+  b.store(base, 0, base);              // 1: bytes [0,8)
+  const Reg v = b.loadB(base, 7);      // 2: byte 7 overlaps
+  b.emit(Opcode::kHalt, {}, {v});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_TRUE(hasEdge(graph, 1, 2, DepKind::kMemory));
+}
+
+TEST(DfgTest, DifferentBasesConservativelyOrdered) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg baseA = b.movImm(0x2000);  // 0
+  const Reg baseB = b.movImm(0x3000);  // 1
+  b.store(baseA, 0, baseA);            // 2
+  const Reg v = b.load(baseB, 0);      // 3: unknown aliasing -> ordered
+  b.emit(Opcode::kHalt, {}, {v});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_TRUE(hasEdge(graph, 2, 3, DepKind::kMemory));
+}
+
+TEST(DfgTest, RedefinedBaseBreaksDisambiguation) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg base = b.movImm(0x2000);   // 0
+  b.store(base, 0, base);              // 1
+  b.movImmTo(base, 0x3000);            // 2: base now points elsewhere
+  const Reg v = b.load(base, 8);       // 3: must stay ordered w.r.t. store
+  b.emit(Opcode::kHalt, {}, {v});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_TRUE(hasEdge(graph, 1, 3, DepKind::kMemory));
+}
+
+TEST(DfgTest, LoadsNeverOrderedWithLoads) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg base = b.movImm(0x2000);
+  const Reg v1 = b.load(base, 0);
+  const Reg v2 = b.load(base, 0);  // same address: still no edge
+  b.emit(Opcode::kHalt, {}, {b.add(v1, v2)});
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_FALSE(hasEdge(graph, 1, 2, DepKind::kMemory));
+}
+
+TEST(DfgTest, CheckGuardEdgePresent) {
+  ir::Program prog = testutil::makeTinyProgram();
+  passes::applyErrorDetection(prog);
+  const ir::BasicBlock& block = prog.function(0).block(0);
+  const DataFlowGraph graph(block, testutil::machine(2, 1));
+  // Every check node must have a kGuard successor edge to its guarded insn.
+  std::size_t guardEdges = 0;
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    if (!graph.insn(i).isCheck()) {
+      continue;
+    }
+    bool hasGuard = false;
+    for (const Edge& edge : graph.succs(i)) {
+      if (edge.kind == DepKind::kGuard) {
+        hasGuard = true;
+        EXPECT_EQ(block.insns()[edge.to].id, graph.insn(i).guard);
+      }
+    }
+    EXPECT_TRUE(hasGuard) << "check node " << i << " lacks a guard edge";
+    ++guardEdges;
+  }
+  EXPECT_GT(guardEdges, 0u);
+}
+
+TEST(DfgTest, HeightsDecreaseAlongChains) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg a = b.movImm(1);         // 0
+  const Reg c = b.add(a, a);         // 1
+  const Reg d = b.add(c, c);         // 2
+  b.emit(Opcode::kHalt, {}, {d});    // 3
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  EXPECT_GT(graph.height(0), graph.height(1));
+  EXPECT_GT(graph.height(1), graph.height(2));
+  EXPECT_GT(graph.height(2), graph.height(3));
+  EXPECT_EQ(graph.criticalPathLength(), graph.height(0));
+}
+
+TEST(DfgTest, PriorityOrderSortsByHeight) {
+  BlockHarness h;
+  IrBuilder& b = *h.builder;
+  const Reg a = b.movImm(1);        // 0: on the critical chain
+  const Reg c = b.mul(a, a);        // 1
+  const Reg d = b.mul(c, c);        // 2
+  b.movImm(42);                     // 3: independent leaf
+  b.emit(Opcode::kHalt, {}, {d});   // 4
+  const DataFlowGraph graph(*h.block, testutil::machine(2, 1));
+  const std::vector<std::uint32_t> order = graph.priorityOrder();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);  // chain head has the greatest height
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(graph.height(order[i]), graph.height(order[i - 1]));
+  }
+}
+
+TEST(DfgTest, CallOrderedWithMemoryOps) {
+  ir::Program prog;
+  ir::Function& helper = prog.addFunction("helper");
+  {
+    IrBuilder hb(helper);
+    hb.setBlock(hb.createBlock("body"));
+    hb.ret({});
+  }
+  ir::Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg base = b.movImm(0x2000);  // 0
+  b.store(base, 0, base);             // 1
+  b.call(helper, {});                 // 2: barrier
+  const Reg v = b.load(base, 0);      // 3
+  b.emit(Opcode::kHalt, {}, {v});
+  const DataFlowGraph graph(entry, testutil::machine(2, 1));
+  EXPECT_TRUE(hasEdge(graph, 1, 2, DepKind::kBarrier));
+  EXPECT_TRUE(hasEdge(graph, 2, 3, DepKind::kBarrier));
+}
+
+TEST(DfgTest, EdgesAlwaysPointForward) {
+  ir::Program prog = testutil::makeRandomStraightLine(42, 80);
+  passes::applyErrorDetection(prog);
+  const ir::BasicBlock& block = prog.function(0).block(0);
+  const DataFlowGraph graph(block, testutil::machine(2, 2));
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    for (const Edge& edge : graph.succs(i)) {
+      EXPECT_LT(edge.from, edge.to);
+    }
+  }
+}
+
+// Duplicates must have no dependence on their originals: that independence
+// is the extra ILP the paper's §II-A relies on.
+TEST(DfgTest, DuplicateStreamIndependentOfOriginals) {
+  ir::Program prog = testutil::makeRandomStraightLine(7, 40);
+  passes::applyErrorDetection(prog);
+  const ir::BasicBlock& block = prog.function(0).block(0);
+  const DataFlowGraph graph(block, testutil::machine(2, 1));
+  for (std::uint32_t i = 0; i < graph.size(); ++i) {
+    if (block.insns()[i].origin != ir::InsnOrigin::kDuplicate) {
+      continue;
+    }
+    for (const Edge& edge : graph.preds(i)) {
+      if (edge.kind == DepKind::kData) {
+        const ir::InsnOrigin producer = block.insns()[edge.from].origin;
+        EXPECT_NE(producer, ir::InsnOrigin::kOriginal)
+            << "duplicate depends on an original instruction";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casted::dfg

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "passes/early_opts.h"
+#include "passes/error_detection.h"
+#include "sched/list_scheduler.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::Reg;
+
+std::int64_t runExitCode(const Program& prog) {
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sim::RunResult result = sim::simulate(
+      prog, sched::scheduleProgram(prog, config), config);
+  EXPECT_EQ(result.exit, sim::ExitKind::kHalted);
+  return result.exitCode;
+}
+
+TEST(ConstantFoldingTest, FoldsArithmeticChains) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg a = b.movImm(6);
+  const Reg c = b.movImm(7);
+  const Reg prod = b.mul(a, c);        // 42
+  const Reg shifted = b.shlImm(prod, 1);  // 84
+  b.halt(shifted);
+  const EarlyOptStats stats = applyConstantFolding(prog);
+  EXPECT_EQ(stats.foldedConstants, 2u);
+  const auto& insns = prog.function(0).block(0).insns();
+  EXPECT_EQ(insns[2].op, Opcode::kMovImm);
+  EXPECT_EQ(insns[2].imm, 42);
+  EXPECT_EQ(insns[3].op, Opcode::kMovImm);
+  EXPECT_EQ(insns[3].imm, 84);
+  EXPECT_EQ(runExitCode(prog), 84);
+}
+
+TEST(ConstantFoldingTest, FoldsComparesToPredicateSets) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg a = b.movImm(3);
+  const Reg p = b.cmpLtImm(a, 5);  // true
+  const Reg v = b.select(p, b.movImm(10), b.movImm(20));
+  b.halt(v);
+  applyConstantFolding(prog);
+  const auto& insns = prog.function(0).block(0).insns();
+  EXPECT_EQ(insns[1].op, Opcode::kPSetImm);
+  EXPECT_EQ(insns[1].imm, 1);
+  EXPECT_EQ(runExitCode(prog), 10);
+}
+
+TEST(ConstantFoldingTest, SelectFoldsOnKnownPredicate) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg p = b.pSetImm(false);
+  const Reg x = b.movImm(1);     // non-constant path still works:
+  const Reg y = b.addImm(x, 1);  // y = 2, foldable
+  const Reg v = b.select(p, x, y);
+  b.halt(v);
+  applyConstantFolding(prog);
+  EXPECT_EQ(runExitCode(prog), 2);
+  // The select became a mov (or further folded to movi).
+  const auto& insns = prog.function(0).block(0).insns();
+  EXPECT_NE(insns[3].op, Opcode::kSelect);
+}
+
+TEST(ConstantFoldingTest, NeverFoldsTrappingOps) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg one = b.movImm(1);
+  const Reg zero = b.movImm(0);
+  b.div(one, zero);  // must still trap at run time
+  b.halt(zero);
+  applyConstantFolding(prog);
+  EXPECT_EQ(prog.function(0).block(0).insns()[2].op, Opcode::kDiv);
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sim::RunResult result = sim::simulate(
+      prog, sched::scheduleProgram(prog, config), config);
+  EXPECT_EQ(result.exit, sim::ExitKind::kException);
+}
+
+TEST(ConstantFoldingTest, RedefinitionInvalidatesConstant) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg a = b.movImm(5);
+  const Reg unknown = b.load(b.movImm(0x1000), 0);  // runtime value
+  b.emit(Opcode::kMov, {a}, {unknown});             // a no longer constant
+  const Reg sum = b.addImm(a, 1);                   // must NOT fold
+  b.halt(sum);
+  applyConstantFolding(prog);
+  // insns: movi a, movi base, load, mov, addi, halt — the addi survives.
+  EXPECT_EQ(prog.function(0).block(0).insns()[4].op, Opcode::kAddImm);
+}
+
+TEST(ConstantFoldingTest, LeavesRedundantStreamAlone) {
+  Program prog = testutil::makeTinyProgram();
+  applyErrorDetection(prog);
+  std::size_t duplicatesBefore = 0;
+  for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+    duplicatesBefore +=
+        insn.origin == ir::InsnOrigin::kDuplicate ? 1 : 0;
+  }
+  applyConstantFolding(prog);
+  std::size_t duplicateMovi = 0;
+  std::size_t duplicates = 0;
+  for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.origin == ir::InsnOrigin::kDuplicate) {
+      ++duplicates;
+      duplicateMovi += insn.op == Opcode::kMovImm ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(duplicates, duplicatesBefore);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+TEST(CopyPropagationTest, RewritesThroughMovChains) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg a = b.load(b.movImm(0x1000), 0);
+  const Reg c = b.mov(a);
+  const Reg d = b.mov(c);
+  const Reg sum = b.add(d, d);  // should read `a` directly
+  b.halt(sum);
+  const EarlyOptStats stats = applyCopyPropagation(prog);
+  EXPECT_GE(stats.propagatedCopies, 2u);
+  const auto& insns = prog.function(0).block(0).insns();
+  EXPECT_EQ(insns[4].uses[0], a);
+  EXPECT_EQ(insns[4].uses[1], a);
+}
+
+TEST(CopyPropagationTest, SourceRedefinitionStopsPropagation) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg a = b.movImm(1);
+  const Reg c = b.mov(a);
+  b.movImmTo(a, 99);           // a changed; c still holds the old value
+  const Reg sum = b.add(c, c);  // must keep reading c
+  b.halt(sum);
+  applyCopyPropagation(prog);
+  EXPECT_EQ(prog.function(0).block(0).insns()[3].uses[0], c);
+  EXPECT_EQ(runExitCode(prog), 2);
+}
+
+TEST(EarlyOptsTest, PreservesEveryWorkloadOutput) {
+  for (const std::string& name : workloads::workloadNames()) {
+    workloads::Workload wl = workloads::makeWorkload(name, 1);
+    const arch::MachineConfig config = testutil::machine(2, 1);
+    const sim::RunResult before = sim::simulate(
+        wl.program, sched::scheduleProgram(wl.program, config), config);
+    applyEarlyOptimisations(wl.program);
+    EXPECT_TRUE(ir::verify(wl.program).empty()) << name;
+    const sim::RunResult after = sim::simulate(
+        wl.program, sched::scheduleProgram(wl.program, config), config);
+    EXPECT_EQ(before.output, after.output) << name;
+  }
+}
+
+// Property: folding + propagation never change the observable result of
+// random straight-line programs.
+class EarlyOptsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EarlyOptsPropertyTest, SemanticsPreserved) {
+  Program original = testutil::makeRandomStraightLine(
+      static_cast<std::uint64_t>(GetParam()) * 257 + 11, 60);
+  Program optimised = original;
+  const EarlyOptStats stats = applyEarlyOptimisations(optimised);
+  // Straight-line constant programs fold almost entirely.
+  EXPECT_GT(stats.foldedConstants, 0u);
+  EXPECT_TRUE(ir::verify(optimised).empty());
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sim::RunResult a = sim::simulate(
+      original, sched::scheduleProgram(original, config), config);
+  const sim::RunResult b = sim::simulate(
+      optimised, sched::scheduleProgram(optimised, config), config);
+  EXPECT_EQ(a.output, b.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarlyOptsPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace casted::passes

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "passes/error_detection.h"
+#include "test_util.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::InsnOrigin;
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::Reg;
+using ir::RegClass;
+
+// Counts instructions by origin across the whole program.
+std::unordered_map<InsnOrigin, std::size_t> countByOrigin(
+    const Program& prog) {
+  std::unordered_map<InsnOrigin, std::size_t> counts;
+  for (ir::FuncId f = 0; f < prog.functionCount(); ++f) {
+    const Function& fn = prog.function(f);
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      for (const Instruction& insn : fn.block(b).insns()) {
+        ++counts[insn.origin];
+      }
+    }
+  }
+  return counts;
+}
+
+TEST(ErrorDetectionTest, TransformedProgramVerifies) {
+  Program prog = testutil::makeTinyProgram();
+  applyErrorDetection(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+TEST(ErrorDetectionTest, EveryReplicableInsnGetsADuplicateJustBefore) {
+  Program prog = testutil::makeTinyProgram();
+  applyErrorDetection(prog);
+  const BasicBlock& block = prog.function(0).block(0);
+  const auto& insns = block.insns();
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    if (insns[i].origin == InsnOrigin::kOriginal && insns[i].isReplicable()) {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(insns[i - 1].origin, InsnOrigin::kDuplicate);
+      EXPECT_EQ(insns[i - 1].duplicateOf, insns[i].id);
+      EXPECT_EQ(insns[i - 1].op, insns[i].op);
+      EXPECT_EQ(insns[i - 1].imm, insns[i].imm);
+    }
+  }
+}
+
+TEST(ErrorDetectionTest, StatsMatchTransformedProgram) {
+  Program prog = testutil::makeTinyProgram();
+  const ErrorDetectionStats stats = applyErrorDetection(prog);
+  const auto counts = countByOrigin(prog);
+  EXPECT_EQ(stats.replicated, counts.at(InsnOrigin::kDuplicate));
+  EXPECT_EQ(stats.checks, counts.at(InsnOrigin::kCheck));
+  EXPECT_EQ(stats.copies,
+            counts.contains(InsnOrigin::kCopy) ? counts.at(InsnOrigin::kCopy)
+                                               : 0u);
+  EXPECT_GT(stats.replicated, 0u);
+  EXPECT_GT(stats.checks, 0u);
+}
+
+TEST(ErrorDetectionTest, DuplicatesWriteOnlyShadowRegisters) {
+  Program prog = testutil::makeTinyProgram();
+  applyErrorDetection(prog);
+  const Function& fn = prog.function(0);
+  // Registers written by originals and by duplicates must be disjoint.
+  std::unordered_set<Reg> originalDefs;
+  std::unordered_set<Reg> duplicateDefs;
+  for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+    for (const Instruction& insn : fn.block(b).insns()) {
+      auto& set = insn.origin == InsnOrigin::kDuplicate ? duplicateDefs
+                                                        : originalDefs;
+      for (const Reg& def : insn.defs) {
+        set.insert(def);
+      }
+    }
+  }
+  for (const Reg& def : duplicateDefs) {
+    EXPECT_FALSE(originalDefs.contains(def))
+        << def.toString() << " written by both streams";
+  }
+}
+
+TEST(ErrorDetectionTest, DuplicatesReadOnlyShadowValues) {
+  Program prog = testutil::makeRandomStraightLine(11, 50);
+  applyErrorDetection(prog);
+  const Function& fn = prog.function(0);
+  std::unordered_set<Reg> shadowDefs;
+  for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+    for (const Instruction& insn : fn.block(b).insns()) {
+      if (insn.origin == InsnOrigin::kDuplicate ||
+          insn.origin == InsnOrigin::kCopy) {
+        for (const Reg& def : insn.defs) {
+          shadowDefs.insert(def);
+        }
+      }
+    }
+  }
+  for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+    for (const Instruction& insn : fn.block(b).insns()) {
+      if (insn.origin != InsnOrigin::kDuplicate) {
+        continue;
+      }
+      for (const Reg& use : insn.uses) {
+        EXPECT_TRUE(shadowDefs.contains(use))
+            << "duplicate reads non-shadow " << use.toString();
+      }
+    }
+  }
+}
+
+TEST(ErrorDetectionTest, ChecksGuardEveryRegisterReadByStores) {
+  Program prog = testutil::makeTinyProgram();
+  applyErrorDetection(prog);
+  const BasicBlock& block = prog.function(0).block(0);
+  const auto& insns = block.insns();
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    const Instruction& insn = insns[i];
+    if (!insn.isStore() || insn.origin != InsnOrigin::kOriginal) {
+      continue;
+    }
+    // Every register the store reads must be checked immediately before it
+    // (one check per distinct register, in a contiguous run).
+    std::unordered_set<Reg> wanted(insn.uses.begin(), insn.uses.end());
+    std::size_t j = i;
+    while (j > 0 && insns[j - 1].isCheck()) {
+      --j;
+      if (insns[j].guard == insn.id) {
+        EXPECT_TRUE(wanted.erase(insns[j].uses[0]) == 1);
+      }
+    }
+    EXPECT_TRUE(wanted.empty()) << "store misses checks";
+  }
+}
+
+TEST(ErrorDetectionTest, BranchPredicatesChecked) {
+  Program prog = testutil::makeLoopProgram(4);
+  applyErrorDetection(prog);
+  const Function& fn = prog.function(0);
+  bool sawPredicateCheck = false;
+  for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+    const auto& insns = fn.block(b).insns();
+    for (std::size_t i = 0; i < insns.size(); ++i) {
+      if (insns[i].op == Opcode::kBrCond) {
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(insns[i - 1].op, Opcode::kCheckP);
+        EXPECT_EQ(insns[i - 1].guard, insns[i].id);
+        sawPredicateCheck = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawPredicateCheck);
+}
+
+TEST(ErrorDetectionTest, ChecksUseMatchingClassOpcodes) {
+  Program prog;
+  const std::uint64_t out = prog.allocateGlobal("output", 16);
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg base = b.movImm(static_cast<std::int64_t>(out));
+  const Reg f = b.fAdd(b.fMovImm(1.5), b.fMovImm(2.5));
+  b.fStore(base, 0, f);
+  b.halt(b.movImm(0));
+  applyErrorDetection(prog);
+  bool sawF = false;
+  bool sawG = false;
+  for (const Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.op == Opcode::kCheckF) {
+      sawF = true;
+      EXPECT_EQ(insn.uses[0].cls, RegClass::kFp);
+    }
+    if (insn.op == Opcode::kCheckG) {
+      sawG = true;
+    }
+  }
+  EXPECT_TRUE(sawF);  // the stored FP value
+  EXPECT_TRUE(sawG);  // the store address
+}
+
+TEST(ErrorDetectionTest, DuplicateRegisterReadOnlyCheckedOnce) {
+  Program prog;
+  const std::uint64_t out = prog.allocateGlobal("output", 16);
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg base = b.movImm(static_cast<std::int64_t>(out));
+  b.store(base, 0, base);  // reads `base` twice
+  b.halt(b.movImm(0));
+  applyErrorDetection(prog);
+  std::size_t checksBeforeStore = 0;
+  for (const Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.isCheck()) {
+      ++checksBeforeStore;
+    }
+    if (insn.isStore()) {
+      break;
+    }
+  }
+  EXPECT_EQ(checksBeforeStore, 1u);
+}
+
+TEST(ErrorDetectionTest, CallResultsGetShadowCopies) {
+  Program prog;
+  prog.allocateGlobal("output", 8);
+  Function& helper = prog.addFunction("helper");
+  helper.returnClasses() = {RegClass::kGp};
+  {
+    IrBuilder hb(helper);
+    hb.setBlock(hb.createBlock("body"));
+    hb.ret({hb.movImm(7)});
+  }
+  Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  {
+    IrBuilder b(main);
+    b.setBlock(b.createBlock("entry"));
+    const Reg out = b.movImm(
+        static_cast<std::int64_t>(prog.symbol("output").address));
+    const Reg v = b.call(helper, {})[0];
+    b.store(out, 0, v);
+    b.halt(b.movImm(0));
+  }
+  applyErrorDetection(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  // A kCopy must directly follow the call.
+  const auto& insns = prog.function(1).block(0).insns();
+  bool sawCopyAfterCall = false;
+  for (std::size_t i = 0; i + 1 < insns.size(); ++i) {
+    if (insns[i].isCall()) {
+      EXPECT_EQ(insns[i + 1].origin, InsnOrigin::kCopy);
+      EXPECT_EQ(insns[i + 1].uses[0], insns[i].defs[0]);
+      sawCopyAfterCall = true;
+    }
+  }
+  EXPECT_TRUE(sawCopyAfterCall);
+}
+
+TEST(ErrorDetectionTest, ParametersGetShadowCopiesAtEntry) {
+  Program prog;
+  prog.allocateGlobal("output", 8);
+  Function& helper = prog.addFunction("helper");
+  const Reg param = helper.newReg(RegClass::kGp);
+  helper.params() = {param};
+  helper.returnClasses() = {RegClass::kGp};
+  {
+    IrBuilder hb(helper);
+    hb.setBlock(hb.createBlock("body"));
+    hb.ret({hb.addImm(param, 1)});
+  }
+  Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  {
+    IrBuilder b(main);
+    b.setBlock(b.createBlock("entry"));
+    const Reg v = b.call(helper, {b.movImm(1)})[0];
+    b.halt(v);
+  }
+  applyErrorDetection(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  const Instruction& first = prog.function(0).block(0).insns().front();
+  EXPECT_EQ(first.origin, InsnOrigin::kCopy);
+  EXPECT_EQ(first.uses[0], param);
+}
+
+TEST(ErrorDetectionTest, UnprotectedFunctionLeftUntouched) {
+  Program prog;
+  prog.allocateGlobal("output", 8);
+  Function& lib = prog.addFunction("lib");
+  lib.setProtected(false);
+  lib.returnClasses() = {RegClass::kGp};
+  {
+    IrBuilder lb(lib);
+    lb.setBlock(lb.createBlock("body"));
+    lb.ret({lb.movImm(3)});
+  }
+  Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  {
+    IrBuilder b(main);
+    b.setBlock(b.createBlock("entry"));
+    const Reg v = b.call(lib, {})[0];
+    b.halt(v);
+  }
+  const std::size_t libSizeBefore = prog.function(0).insnCount();
+  const ErrorDetectionStats stats = applyErrorDetection(prog);
+  EXPECT_EQ(stats.skippedUnprotected, 1u);
+  EXPECT_EQ(prog.function(0).insnCount(), libSizeBefore);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+TEST(ErrorDetectionTest, OptionsDisableControlFlowChecks) {
+  Program prog = testutil::makeLoopProgram(3);
+  ErrorDetectionOptions options;
+  options.checkControlFlow = false;
+  applyErrorDetection(prog, options);
+  for (ir::BlockId b = 0; b < prog.function(0).blockCount(); ++b) {
+    const auto& insns = prog.function(0).block(b).insns();
+    for (std::size_t i = 1; i < insns.size(); ++i) {
+      if (insns[i].op == Opcode::kBrCond) {
+        EXPECT_FALSE(insns[i - 1].isCheck());
+      }
+    }
+  }
+}
+
+TEST(ErrorDetectionTest, OptionsDisableStoreChecks) {
+  Program prog = testutil::makeTinyProgram();
+  ErrorDetectionOptions options;
+  options.checkStores = false;
+  options.checkControlFlow = false;
+  const ErrorDetectionStats stats = applyErrorDetection(prog, options);
+  EXPECT_EQ(stats.checks, 0u);
+  EXPECT_GT(stats.replicated, 0u);
+}
+
+TEST(ErrorDetectionTest, CodeGrowthInPaperRange) {
+  // The paper reports error-detection binaries ~2.4x the original; our
+  // kernels should land in the same neighbourhood (2x..3x).
+  Program prog = testutil::makeRandomStraightLine(5, 100);
+  const std::size_t before = prog.insnCount();
+  applyErrorDetection(prog);
+  const double growth =
+      static_cast<double>(prog.insnCount()) / static_cast<double>(before);
+  EXPECT_GT(growth, 1.8);
+  EXPECT_LT(growth, 3.0);
+}
+
+TEST(ErrorDetectionTest, SecondApplicationNeverDuplicatesCompilerCode) {
+  // Re-running the pass re-protects the originals but must never duplicate
+  // duplicates, checks or copies (the paper's "compiler-generated" rule),
+  // and the result must still verify.
+  Program prog = testutil::makeTinyProgram();
+  const ErrorDetectionStats first = applyErrorDetection(prog);
+  const ErrorDetectionStats second = applyErrorDetection(prog);
+  EXPECT_EQ(second.replicated, first.replicated);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  for (const Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.origin == InsnOrigin::kDuplicate) {
+      // A duplicate's source is always an original instruction.
+      bool found = false;
+      for (const Instruction& other : prog.function(0).block(0).insns()) {
+        if (other.id == insn.duplicateOf) {
+          EXPECT_EQ(other.origin, InsnOrigin::kOriginal);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+// Property sweep: for random programs, the three Algorithm 1 invariants
+// hold: duplicate-before-original, register isolation, checks before every
+// non-replicated instruction.
+class ErrorDetectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ErrorDetectionPropertyTest, AlgorithmOneInvariants) {
+  Program prog = testutil::makeRandomStraightLine(
+      static_cast<std::uint64_t>(GetParam()) * 13 + 3, 70);
+  applyErrorDetection(prog);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  const BasicBlock& block = prog.function(0).block(0);
+  const auto& insns = block.insns();
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    const Instruction& insn = insns[i];
+    if (insn.origin == InsnOrigin::kOriginal && insn.isReplicable()) {
+      EXPECT_EQ(insns[i - 1].duplicateOf, insn.id);
+    }
+    if (insn.origin == InsnOrigin::kOriginal && insn.isNonReplicated()) {
+      std::unordered_set<Reg> wanted(insn.uses.begin(), insn.uses.end());
+      std::size_t j = i;
+      while (j > 0 && insns[j - 1].isCheck()) {
+        --j;
+        if (insns[j].guard == insn.id) {
+          wanted.erase(insns[j].uses[0]);
+        }
+      }
+      EXPECT_TRUE(wanted.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErrorDetectionPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace casted::passes

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/function.h"
+#include "ir/opcode.h"
+#include "ir/reg.h"
+#include "support/check.h"
+
+namespace casted::ir {
+namespace {
+
+// --- Reg ---------------------------------------------------------------------
+
+TEST(RegTest, DefaultIsInvalid) {
+  EXPECT_FALSE(Reg().valid());
+}
+
+TEST(RegTest, ToStringUsesClassPrefix) {
+  EXPECT_EQ(Reg(RegClass::kGp, 12).toString(), "g12");
+  EXPECT_EQ(Reg(RegClass::kFp, 3).toString(), "f3");
+  EXPECT_EQ(Reg(RegClass::kPr, 0).toString(), "p0");
+}
+
+TEST(RegTest, OrderingGroupsByClass) {
+  EXPECT_LT(Reg(RegClass::kGp, 99), Reg(RegClass::kFp, 0));
+  EXPECT_LT(Reg(RegClass::kFp, 99), Reg(RegClass::kPr, 0));
+  EXPECT_LT(Reg(RegClass::kGp, 1), Reg(RegClass::kGp, 2));
+}
+
+TEST(RegTest, EqualityAndHash) {
+  const Reg a(RegClass::kGp, 5);
+  const Reg b(RegClass::kGp, 5);
+  const Reg c(RegClass::kFp, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<Reg>()(a), std::hash<Reg>()(b));
+}
+
+// --- opcode metadata: exhaustive invariants over the whole table -------------
+
+class OpcodeTableTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeTableTest, MetadataIsConsistent) {
+  const Opcode op = static_cast<Opcode>(GetParam());
+  const OpcodeInfo& info = opcodeInfo(op);
+
+  EXPECT_NE(info.name, nullptr);
+  EXPECT_GT(std::string(info.name).size(), 0u);
+  // name -> opcode lookup round trips.
+  EXPECT_EQ(opcodeFromName(info.name), op);
+
+  // Arity constraints.
+  EXPECT_LE(info.defCount, 1);
+  EXPECT_LE(info.useCount, 3);
+  if (info.variableArity) {
+    EXPECT_EQ(info.defCount, 0);
+    EXPECT_EQ(info.useCount, 0);
+  }
+  // Only one of the immediate kinds.
+  EXPECT_FALSE(info.hasImm && info.hasFpImm);
+  // Terminators cannot define registers.
+  if (info.isTerminator) {
+    EXPECT_EQ(info.defCount, 0);
+  }
+  // Memory ops are loads xor stores.
+  EXPECT_FALSE(info.isLoad && info.isStore);
+  if (info.isLoad) {
+    EXPECT_EQ(info.defCount, 1);
+    EXPECT_TRUE(info.canTrap);
+  }
+  if (info.isStore) {
+    EXPECT_EQ(info.defCount, 0);
+    EXPECT_TRUE(info.canTrap);
+  }
+  // Checks define nothing; the fused forms read two registers of the same
+  // class, the split trap reads one predicate.
+  if (info.isCheck) {
+    EXPECT_EQ(info.defCount, 0);
+    if (info.useCount == 2) {
+      EXPECT_EQ(info.useClass[0], info.useClass[1]);
+    } else {
+      EXPECT_EQ(info.useCount, 1);
+      EXPECT_EQ(info.useClass[0], RegClass::kPr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeTableTest,
+    ::testing::Range(0, static_cast<int>(Opcode::kOpcodeCount)));
+
+TEST(OpcodeTest, UnknownNameReturnsSentinel) {
+  EXPECT_EQ(opcodeFromName("no-such-op"), Opcode::kOpcodeCount);
+}
+
+TEST(OpcodeTest, ReplicationPolicyMatchesPaper) {
+  // Algorithm 1: control flow, stores and checks are not replicated...
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kBr));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kBrCond));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kCall));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kRet));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kHalt));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kStore));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kStoreB));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kFStore));
+  EXPECT_FALSE(isReplicableOpcode(Opcode::kCheckG));
+  // ... but loads ARE (SWIFT-style sphere of replication).
+  EXPECT_TRUE(isReplicableOpcode(Opcode::kLoad));
+  EXPECT_TRUE(isReplicableOpcode(Opcode::kFLoad));
+  EXPECT_TRUE(isReplicableOpcode(Opcode::kAdd));
+  EXPECT_TRUE(isReplicableOpcode(Opcode::kFMul));
+  EXPECT_TRUE(isReplicableOpcode(Opcode::kCmpEq));
+}
+
+// --- Instruction -----------------------------------------------------------------
+
+TEST(InstructionTest, ToStringBinaryOp) {
+  Instruction insn;
+  insn.op = Opcode::kAdd;
+  insn.defs = {Reg(RegClass::kGp, 3)};
+  insn.uses = {Reg(RegClass::kGp, 1), Reg(RegClass::kGp, 2)};
+  EXPECT_EQ(insn.toString(), "g3 = add g1, g2");
+}
+
+TEST(InstructionTest, ToStringLoadStore) {
+  Instruction load;
+  load.op = Opcode::kLoad;
+  load.defs = {Reg(RegClass::kGp, 1)};
+  load.uses = {Reg(RegClass::kGp, 0)};
+  load.imm = 16;
+  EXPECT_EQ(load.toString(), "g1 = load [g0+16]");
+
+  Instruction store;
+  store.op = Opcode::kStore;
+  store.uses = {Reg(RegClass::kGp, 0), Reg(RegClass::kGp, 1)};
+  store.imm = 8;
+  EXPECT_EQ(store.toString(), "store [g0+8], g1");
+}
+
+TEST(InstructionTest, NonReplicatedPredicate) {
+  Instruction store;
+  store.op = Opcode::kStore;
+  EXPECT_TRUE(store.isNonReplicated());
+
+  Instruction add;
+  add.op = Opcode::kAdd;
+  EXPECT_FALSE(add.isNonReplicated());
+
+  Instruction check;
+  check.op = Opcode::kCheckG;
+  check.origin = InsnOrigin::kCheck;
+  EXPECT_FALSE(check.isNonReplicated());
+  EXPECT_TRUE(check.isCheck());
+}
+
+TEST(InstructionTest, ReplicableConsidersOrigin) {
+  Instruction add;
+  add.op = Opcode::kAdd;
+  EXPECT_TRUE(add.isReplicable());
+  add.origin = InsnOrigin::kDuplicate;
+  EXPECT_FALSE(add.isReplicable());
+  add.origin = InsnOrigin::kSpill;
+  EXPECT_FALSE(add.isReplicable());
+}
+
+// --- Function / Program ---------------------------------------------------------
+
+TEST(FunctionTest, NewRegCountsPerClass) {
+  Function fn(0, "f");
+  const Reg g0 = fn.newReg(RegClass::kGp);
+  const Reg g1 = fn.newReg(RegClass::kGp);
+  const Reg f0 = fn.newReg(RegClass::kFp);
+  EXPECT_EQ(g0.index, 0u);
+  EXPECT_EQ(g1.index, 1u);
+  EXPECT_EQ(f0.index, 0u);
+  EXPECT_EQ(fn.regCount(RegClass::kGp), 2u);
+  EXPECT_EQ(fn.regCount(RegClass::kFp), 1u);
+  EXPECT_EQ(fn.regCount(RegClass::kPr), 0u);
+}
+
+TEST(FunctionTest, ReserveRegsOnlyRaises) {
+  Function fn(0, "f");
+  fn.reserveRegsAtLeast(RegClass::kGp, 10);
+  EXPECT_EQ(fn.regCount(RegClass::kGp), 10u);
+  fn.reserveRegsAtLeast(RegClass::kGp, 5);
+  EXPECT_EQ(fn.regCount(RegClass::kGp), 10u);
+  EXPECT_EQ(fn.newReg(RegClass::kGp).index, 10u);
+}
+
+TEST(FunctionTest, BlockIdsAreSequential) {
+  Function fn(0, "f");
+  EXPECT_EQ(fn.addBlock("a").id(), 0u);
+  EXPECT_EQ(fn.addBlock("b").id(), 1u);
+  EXPECT_EQ(fn.blockCount(), 2u);
+  EXPECT_THROW(fn.block(2), FatalError);
+}
+
+TEST(FunctionTest, BlockReferencesStayValidAcrossGrowth) {
+  Function fn(0, "f");
+  BasicBlock& first = fn.addBlock("first");
+  for (int i = 0; i < 100; ++i) {
+    fn.addBlock("filler");
+  }
+  EXPECT_EQ(first.id(), 0u);
+  EXPECT_EQ(&fn.block(0), &first);
+}
+
+TEST(ProgramTest, GlobalsAreAlignedAndSequential) {
+  Program prog;
+  const std::uint64_t a = prog.allocateGlobal("a", 3);
+  const std::uint64_t b = prog.allocateGlobal("b", 8);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_GE(b, a + 3);
+  EXPECT_EQ(prog.symbol("a").size, 3u);
+  EXPECT_TRUE(prog.hasSymbol("b"));
+  EXPECT_FALSE(prog.hasSymbol("c"));
+  EXPECT_THROW(prog.symbol("c"), FatalError);
+}
+
+TEST(ProgramTest, DuplicateGlobalRejected) {
+  Program prog;
+  prog.allocateGlobal("x", 8);
+  EXPECT_THROW(prog.allocateGlobal("x", 8), FatalError);
+}
+
+TEST(ProgramTest, InitializedGlobalContents) {
+  Program prog;
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 4};
+  const std::uint64_t addr = prog.allocateGlobal("data", bytes);
+  const std::size_t offset = addr - Program::kGlobalBase;
+  EXPECT_EQ(prog.globalImage()[offset + 0], 1);
+  EXPECT_EQ(prog.globalImage()[offset + 3], 4);
+}
+
+TEST(ProgramTest, FirstFunctionBecomesEntry) {
+  Program prog;
+  Function& main = prog.addFunction("main");
+  prog.addFunction("helper");
+  EXPECT_EQ(prog.entryFunction(), main.id());
+  EXPECT_EQ(prog.findFunction("helper")->name(), "helper");
+  EXPECT_EQ(prog.findFunction("nope"), nullptr);
+}
+
+// --- IrBuilder -----------------------------------------------------------------
+
+TEST(IrBuilderTest, EmitsIntoCurrentBlock) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& block = b.createBlock("entry");
+  b.setBlock(block);
+  const Reg v = b.movImm(42);
+  b.halt(v);
+  ASSERT_EQ(block.insns().size(), 2u);
+  EXPECT_EQ(block.insns()[0].op, Opcode::kMovImm);
+  EXPECT_EQ(block.insns()[0].imm, 42);
+  EXPECT_EQ(block.insns()[1].op, Opcode::kHalt);
+}
+
+TEST(IrBuilderTest, NoCurrentBlockThrows) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  EXPECT_THROW(b.movImm(1), FatalError);
+}
+
+TEST(IrBuilderTest, AppendAfterTerminatorThrows) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  b.halt(b.movImm(0));
+  EXPECT_THROW(b.movImm(1), FatalError);
+}
+
+TEST(IrBuilderTest, CompareDefinesPredicate) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg p = b.cmpLt(b.movImm(1), b.movImm(2));
+  EXPECT_EQ(p.cls, RegClass::kPr);
+}
+
+TEST(IrBuilderTest, FloatOpsDefineFpRegs) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg f = b.fAdd(b.fMovImm(1.0), b.fMovImm(2.0));
+  EXPECT_EQ(f.cls, RegClass::kFp);
+  const Reg g = b.f2i(f);
+  EXPECT_EQ(g.cls, RegClass::kGp);
+}
+
+TEST(IrBuilderTest, CallChecksArityAndAllocatesResults) {
+  Program prog;
+  Function& helper = prog.addFunction("helper");
+  helper.params().push_back(helper.newReg(RegClass::kGp));
+  helper.returnClasses().push_back(RegClass::kGp);
+  Function& main = prog.addFunction("main");
+  IrBuilder b(main);
+  b.setBlock(b.createBlock("entry"));
+  const Reg arg = b.movImm(1);
+  const std::vector<Reg> results = b.call(helper, {arg});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].cls, RegClass::kGp);
+  EXPECT_THROW(b.call(helper, {arg, arg}), FatalError);
+}
+
+TEST(IrBuilderTest, RetChecksDeclaredReturns) {
+  Program prog;
+  Function& fn = prog.addFunction("f");
+  fn.returnClasses().push_back(RegClass::kGp);
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg v = b.movImm(0);
+  EXPECT_THROW(b.ret({}), FatalError);
+  b.ret({v});
+  EXPECT_EQ(fn.block(0).insns().back().op, Opcode::kRet);
+}
+
+TEST(IrBuilderTest, BrCondRecordsBothTargets) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& t = b.createBlock("t");
+  BasicBlock& f = b.createBlock("f");
+  b.setBlock(entry);
+  const Reg p = b.pSetImm(true);
+  b.brCond(p, t, f);
+  const Instruction& term = entry.insns().back();
+  EXPECT_EQ(term.target, t.id());
+  EXPECT_EQ(term.target2, f.id());
+  EXPECT_EQ(entry.successors(), (std::vector<BlockId>{t.id(), f.id()}));
+}
+
+TEST(IrBuilderTest, MovToDispatchesOnClass) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg g = b.movImm(1);
+  const Reg f = b.fMovImm(1.0);
+  const Reg p = b.pSetImm(false);
+  b.movTo(g, b.movImm(2));
+  b.movTo(f, b.fMovImm(2.0));
+  b.movTo(p, b.pSetImm(true));
+  const auto& insns = entry.insns();
+  EXPECT_EQ(insns[insns.size() - 5].op, Opcode::kMov);
+  EXPECT_EQ(insns[insns.size() - 3].op, Opcode::kFMov);
+  EXPECT_EQ(insns[insns.size() - 1].op, Opcode::kPMov);
+  EXPECT_THROW(b.movTo(g, f), FatalError);
+}
+
+TEST(IrBuilderTest, BinaryToValidatesOpcodeShape) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg a = b.movImm(1);
+  const Reg c = b.movImm(2);
+  b.binaryTo(Opcode::kAdd, a, a, c);
+  EXPECT_THROW(b.binaryTo(Opcode::kMovImm, a, a, c), FatalError);
+}
+
+}  // namespace
+}  // namespace casted::ir

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/check.h"
+#include "passes/error_detection.h"
+#include "test_util.h"
+
+namespace casted::ir {
+namespace {
+
+TEST(PrinterTest, TinyProgramRendersSymbolsAndEntry) {
+  const Program prog = testutil::makeTinyProgram();
+  const std::string text = printProgram(prog);
+  EXPECT_NE(text.find("global input 16"), std::string::npos);
+  EXPECT_NE(text.find("global output 8"), std::string::npos);
+  EXPECT_NE(text.find("func @main() -> ()"), std::string::npos);
+  EXPECT_NE(text.find("entry @main"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(PrinterTest, NonZeroGlobalsPrintHexBytes) {
+  Program prog;
+  prog.allocateGlobal("data", std::vector<std::uint8_t>{0xde, 0xad});
+  const std::string text = printProgram(prog);
+  EXPECT_NE(text.find("global data 2 = de ad"), std::string::npos);
+}
+
+TEST(PrinterTest, UnprotectedFunctionAnnotated) {
+  Program prog;
+  Function& fn = prog.addFunction("lib");
+  fn.setProtected(false);
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  b.halt(b.movImm(0));
+  EXPECT_NE(printFunction(fn).find("unprotected"), std::string::npos);
+}
+
+TEST(ParserTest, RoundTripTinyProgram) {
+  const Program prog = testutil::makeTinyProgram();
+  const std::string once = printProgram(prog);
+  const Program reparsed = parseProgram(once);
+  EXPECT_TRUE(verify(reparsed).empty());
+  EXPECT_EQ(printProgram(reparsed), once);
+}
+
+TEST(ParserTest, RoundTripLoopProgram) {
+  const std::string once = printProgram(testutil::makeLoopProgram(5));
+  EXPECT_EQ(printProgram(parseProgram(once)), once);
+}
+
+TEST(ParserTest, RoundTripAfterErrorDetection) {
+  // The transformed program carries !dup/!guard annotations and explicit
+  // ids; they must survive the round trip exactly.
+  Program prog = testutil::makeTinyProgram();
+  passes::applyErrorDetection(prog);
+  const std::string once = printProgram(prog);
+  EXPECT_NE(once.find("!dup="), std::string::npos);
+  EXPECT_NE(once.find("!guard="), std::string::npos);
+  const Program reparsed = parseProgram(once);
+  EXPECT_TRUE(verify(reparsed).empty());
+  EXPECT_EQ(printProgram(reparsed), once);
+}
+
+TEST(ParserTest, ParsesNegativeOffsetsAndImmediates) {
+  const std::string text =
+      "global output 8\n"
+      "func @main() -> () {\n"
+      "bb0:\n"
+      "  g0 = movi -5\n"
+      "  g1 = addi g0, -3\n"
+      "  g2 = movi 4104\n"
+      "  g3 = load [g2+-8]\n"
+      "  halt g1\n"
+      "}\n"
+      "entry @main\n";
+  const Program prog = parseProgram(text);
+  const auto& insns = prog.function(0).block(0).insns();
+  EXPECT_EQ(insns[0].imm, -5);
+  EXPECT_EQ(insns[1].imm, -3);
+  EXPECT_EQ(insns[3].imm, -8);
+}
+
+TEST(ParserTest, ParsesFpImmediateExactly) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  b.fMovImm(0.1 + 0.2);  // a value that needs all 17 digits
+  b.halt(b.movImm(0));
+  const std::string text = printProgram(prog);
+  const Program reparsed = parseProgram(text);
+  EXPECT_EQ(reparsed.function(0).block(0).insns()[0].fimm, 0.1 + 0.2);
+}
+
+TEST(ParserTest, ParsesCallsByName) {
+  const std::string text =
+      "func @helper(g0) -> (g) {\n"
+      "bb0:\n"
+      "  g1 = addi g0, 1\n"
+      "  ret g1\n"
+      "}\n"
+      "func @main() -> () {\n"
+      "bb0:\n"
+      "  g0 = movi 1\n"
+      "  g1 = call g0, @helper\n"
+      "  halt g1\n"
+      "}\n"
+      "entry @main\n";
+  const Program prog = parseProgram(text);
+  EXPECT_TRUE(verify(prog).empty());
+  EXPECT_EQ(prog.function(1).block(0).insns()[1].callee, 0u);
+  EXPECT_EQ(prog.entryFunction(), 1u);
+}
+
+TEST(ParserTest, ForwardCallReferenceWorks) {
+  const std::string text =
+      "func @main() -> () {\n"
+      "bb0:\n"
+      "  g0 = call @later\n"
+      "  halt g0\n"
+      "}\n"
+      "func @later() -> (g) {\n"
+      "bb0:\n"
+      "  g0 = movi 9\n"
+      "  ret g0\n"
+      "}\n"
+      "entry @main\n";
+  const Program prog = parseProgram(text);
+  EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(ParserTest, UnknownMnemonicReported) {
+  const std::string text =
+      "func @main() -> () {\nbb0:\n  g0 = frobnicate g1\n}\n";
+  try {
+    parseProgram(text);
+    FAIL() << "expected parse error";
+  } catch (const FatalError& error) {
+    EXPECT_NE(std::string(error.what()).find("frobnicate"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, UnknownCalleeReported) {
+  const std::string text =
+      "func @main() -> () {\nbb0:\n  call @ghost\n  halt g0\n}\n";
+  EXPECT_THROW(parseProgram(text), FatalError);
+}
+
+TEST(ParserTest, NonSequentialBlockLabelRejected) {
+  const std::string text = "func @main() -> () {\nbb3:\n  halt g0\n}\n";
+  EXPECT_THROW(parseProgram(text), FatalError);
+}
+
+TEST(ParserTest, GlobalSizeMismatchRejected) {
+  EXPECT_THROW(parseProgram("global x 4 = aa bb\n"), FatalError);
+}
+
+TEST(ParserTest, UnterminatedFunctionRejected) {
+  EXPECT_THROW(parseProgram("func @main() -> () {\nbb0:\n  halt g0\n"),
+               FatalError);
+}
+
+TEST(ParserTest, UnprotectedFlagRoundTrips) {
+  const std::string text =
+      "func @lib() -> () unprotected {\n"
+      "bb0:\n"
+      "  g0 = movi 0\n"
+      "  halt g0\n"
+      "}\n"
+      "entry @lib\n";
+  const Program prog = parseProgram(text);
+  EXPECT_FALSE(prog.function(0).isProtected());
+  EXPECT_EQ(printProgram(prog), text);
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "; leading comment\n"
+      "\n"
+      "func @main() -> () {\n"
+      "bb0:\n"
+      "  g0 = movi 1 ; trailing comment\n"
+      "  halt g0\n"
+      "}\n"
+      "entry @main\n";
+  const Program prog = parseProgram(text);
+  EXPECT_TRUE(verify(prog).empty());
+  EXPECT_EQ(prog.function(0).block(0).insns()[0].imm, 1);
+}
+
+TEST(ParserTest, ClusterAnnotationRoundTrips) {
+  Program prog = testutil::makeTinyProgram();
+  prog.function(0).block(0).insns()[2].cluster = 1;
+  const std::string once = printProgram(prog);
+  EXPECT_NE(once.find("!c=1"), std::string::npos);
+  const Program reparsed = parseProgram(once);
+  EXPECT_EQ(reparsed.function(0).block(0).insns()[2].cluster, 1);
+  EXPECT_EQ(printProgram(reparsed), once);
+}
+
+// Property: print/parse/print is a fixpoint for random programs, both plain
+// and after the error-detection pass.
+class RoundTripPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripPropertyTest, PrintParsePrintIsFixpoint) {
+  Program prog = testutil::makeRandomStraightLine(
+      static_cast<std::uint64_t>(GetParam()) * 104729, 40);
+  if (GetParam() % 2 == 1) {
+    passes::applyErrorDetection(prog);
+  }
+  const std::string once = printProgram(prog);
+  const Program reparsed = parseProgram(once);
+  EXPECT_TRUE(verify(reparsed).empty());
+  EXPECT_EQ(printProgram(reparsed), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace casted::ir

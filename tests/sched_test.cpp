@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "dfg/dfg.h"
+#include "ir/builder.h"
+#include "passes/assignment.h"
+#include "passes/error_detection.h"
+#include "sched/list_scheduler.h"
+#include "sched/reservation_table.h"
+#include "support/check.h"
+#include "test_util.h"
+
+namespace casted::sched {
+namespace {
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::Reg;
+
+// --- ReservationTable -------------------------------------------------------
+
+TEST(ReservationTableTest, RespectsIssueWidth) {
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  ReservationTable table(config);
+  EXPECT_TRUE(table.canIssue(0, 0, ir::FuClass::kIntAlu));
+  table.reserve(0, 0, ir::FuClass::kIntAlu);
+  EXPECT_TRUE(table.canIssue(0, 0, ir::FuClass::kIntAlu));
+  table.reserve(0, 0, ir::FuClass::kIntAlu);
+  EXPECT_FALSE(table.canIssue(0, 0, ir::FuClass::kIntAlu));
+  // Other cluster and other cycle unaffected.
+  EXPECT_TRUE(table.canIssue(1, 0, ir::FuClass::kIntAlu));
+  EXPECT_TRUE(table.canIssue(0, 1, ir::FuClass::kIntAlu));
+}
+
+TEST(ReservationTableTest, EarliestIssueSkipsFullCycles) {
+  const arch::MachineConfig config = testutil::machine(1, 1);
+  ReservationTable table(config);
+  table.reserve(0, 0, ir::FuClass::kIntAlu);
+  table.reserve(0, 1, ir::FuClass::kIntAlu);
+  EXPECT_EQ(table.earliestIssue(0, 0, ir::FuClass::kIntAlu), 2u);
+}
+
+TEST(ReservationTableTest, MemPortLimitEnforced) {
+  arch::MachineConfig config = testutil::machine(4, 1);
+  config.memPortsPerCluster = 1;
+  ReservationTable table(config);
+  table.reserve(0, 0, ir::FuClass::kMem);
+  EXPECT_FALSE(table.canIssue(0, 0, ir::FuClass::kMem));
+  // Non-memory ops can still use the remaining slots.
+  EXPECT_TRUE(table.canIssue(0, 0, ir::FuClass::kIntAlu));
+}
+
+TEST(ReservationTableTest, FpPortLimitEnforced) {
+  arch::MachineConfig config = testutil::machine(4, 1);
+  config.fpPortsPerCluster = 2;
+  ReservationTable table(config);
+  table.reserve(0, 0, ir::FuClass::kFpAlu);
+  table.reserve(0, 0, ir::FuClass::kFpMul);
+  EXPECT_FALSE(table.canIssue(0, 0, ir::FuClass::kFpDiv));
+  EXPECT_TRUE(table.canIssue(0, 0, ir::FuClass::kIntAlu));
+}
+
+TEST(ReservationTableTest, UsedSlotsTracksPerCluster) {
+  ReservationTable table(testutil::machine(2, 1));
+  table.reserve(0, 0, ir::FuClass::kIntAlu);
+  table.reserve(1, 3, ir::FuClass::kMem);
+  table.reserve(1, 4, ir::FuClass::kMem);
+  EXPECT_EQ(table.usedSlots(0), 1u);
+  EXPECT_EQ(table.usedSlots(1), 2u);
+}
+
+TEST(ReservationTableTest, ReserveUnavailableThrows) {
+  ReservationTable table(testutil::machine(1, 1));
+  table.reserve(0, 0, ir::FuClass::kIntAlu);
+  EXPECT_THROW(table.reserve(0, 0, ir::FuClass::kIntAlu), FatalError);
+}
+
+// --- ListScheduler: validity invariants -----------------------------------------
+
+// Checks that `schedule` respects every DFG edge and resource constraint.
+void expectValidSchedule(const BlockSchedule& schedule,
+                         const dfg::DataFlowGraph& graph,
+                         const arch::MachineConfig& config) {
+  ASSERT_EQ(schedule.issueCycle.size(), graph.size());
+  ASSERT_EQ(schedule.insns.size(), graph.size());
+
+  // Dependence constraints, including the cross-cluster delay on value-
+  // carrying edges.
+  std::vector<std::uint32_t> clusterOf(graph.size());
+  for (const ScheduledInsn& si : schedule.insns) {
+    clusterOf[si.node] = si.cluster;
+  }
+  for (std::uint32_t node = 0; node < graph.size(); ++node) {
+    for (const dfg::Edge& edge : graph.preds(node)) {
+      std::uint32_t needed = schedule.issueCycle[edge.from] + edge.latency;
+      const bool crossing = clusterOf[edge.from] != clusterOf[node];
+      if (crossing && (edge.kind == dfg::DepKind::kData ||
+                       edge.kind == dfg::DepKind::kGuard)) {
+        needed += config.interClusterDelay;
+      }
+      EXPECT_GE(schedule.issueCycle[node], needed)
+          << "edge " << edge.from << "->" << node << " violated";
+    }
+  }
+
+  // Resource constraints: issue width per (cluster, cycle).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> perCycle;
+  for (const ScheduledInsn& si : schedule.insns) {
+    EXPECT_LT(si.cluster, config.clusterCount);
+    ++perCycle[{si.cluster, si.cycle}];
+  }
+  for (const auto& [key, count] : perCycle) {
+    EXPECT_LE(count, config.issueWidth);
+  }
+
+  // Length covers every completion.
+  for (const ScheduledInsn& si : schedule.insns) {
+    EXPECT_LE(si.cycle + si.latency, schedule.length);
+  }
+}
+
+TEST(ListSchedulerTest, SerialChainRespectsLatencies) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  ir::BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg a = b.movImm(1);
+  const Reg c = b.mul(a, a);  // latency 3
+  const Reg d = b.add(c, c);
+  b.halt(d);
+  const arch::MachineConfig config = testutil::machine(4, 1);
+  const dfg::DataFlowGraph graph(entry, config);
+  const BlockSchedule schedule = scheduleBlock(graph, config);
+  expectValidSchedule(schedule, graph, config);
+  // movi@0, mul@1 (after 1-cycle movi), add@1+3=4, halt@5.
+  EXPECT_EQ(schedule.issueCycle[0], 0u);
+  EXPECT_EQ(schedule.issueCycle[1], 1u);
+  EXPECT_EQ(schedule.issueCycle[2], 4u);
+  EXPECT_EQ(schedule.issueCycle[3], 5u);
+  EXPECT_EQ(schedule.length, 6u);
+}
+
+TEST(ListSchedulerTest, IssueWidthLimitsParallelism) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  ir::BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  for (int i = 0; i < 8; ++i) {
+    b.movImm(i);  // 8 independent single-cycle ops
+  }
+  b.halt(b.movImm(0));
+  for (std::uint32_t iw : {1u, 2u, 4u}) {
+    const arch::MachineConfig config = testutil::machine(iw, 1);
+    const dfg::DataFlowGraph graph(entry, config);
+    const BlockSchedule schedule = scheduleBlock(graph, config);
+    expectValidSchedule(schedule, graph, config);
+    // 10 single-cluster ops over iw slots per cycle.
+    EXPECT_EQ(schedule.length, (10 + iw - 1) / iw)
+        << "issue width " << iw;
+  }
+}
+
+TEST(ListSchedulerTest, CrossClusterDelayApplied) {
+  Program prog;
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  ir::BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg a = b.movImm(1);   // node 0, cluster 0
+  const Reg c = b.add(a, a);   // node 1, forced to cluster 1
+  b.halt(c);                   // node 2, cluster 0 again
+  entry.insns()[1].cluster = 1;
+  const arch::MachineConfig config = testutil::machine(2, 3);
+  const dfg::DataFlowGraph graph(entry, config);
+  const BlockSchedule schedule = scheduleBlock(graph, config);
+  expectValidSchedule(schedule, graph, config);
+  // add waits 1 (movi) + 3 (delay); halt waits 1 (add) + 3 (delay back).
+  EXPECT_EQ(schedule.issueCycle[1], 4u);
+  EXPECT_EQ(schedule.issueCycle[2], 8u);
+}
+
+TEST(ListSchedulerTest, HonoursAssignedClusters) {
+  Program prog = testutil::makeRandomStraightLine(3, 30);
+  passes::applyErrorDetection(prog);
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  passes::assignClusters(prog, config, passes::Scheme::kDced);
+  ir::BasicBlock& block = prog.function(0).block(0);
+  const dfg::DataFlowGraph graph(block, config);
+  const BlockSchedule schedule = scheduleBlock(graph, config);
+  for (const ScheduledInsn& si : schedule.insns) {
+    EXPECT_EQ(static_cast<int>(si.cluster), block.insns()[si.node].cluster);
+  }
+}
+
+TEST(ListSchedulerTest, InvalidClusterRejected) {
+  Program prog = testutil::makeTinyProgram();
+  prog.function(0).block(0).insns()[0].cluster = 7;
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const dfg::DataFlowGraph graph(prog.function(0).block(0), config);
+  EXPECT_THROW(scheduleBlock(graph, config), FatalError);
+}
+
+TEST(ListSchedulerTest, ScheduleProgramCoversAllBlocks) {
+  const Program prog = testutil::makeLoopProgram(5);
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const ProgramSchedule schedule = scheduleProgram(prog, config);
+  ASSERT_EQ(schedule.functions.size(), 1u);
+  ASSERT_EQ(schedule.functions[0].blocks.size(), 3u);
+  for (const BlockSchedule& block : schedule.functions[0].blocks) {
+    EXPECT_GE(block.length, 1u);
+  }
+  EXPECT_GT(schedule.functions[0].totalLength(), 0u);
+}
+
+TEST(ListSchedulerTest, RenderShowsBundles) {
+  const Program prog = testutil::makeTinyProgram();
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const ir::BasicBlock& block = prog.function(0).block(0);
+  const dfg::DataFlowGraph graph(block, config);
+  const BlockSchedule schedule = scheduleBlock(graph, config);
+  const std::string rendered = schedule.render(block, 2, 2);
+  EXPECT_NE(rendered.find("cluster0"), std::string::npos);
+  EXPECT_NE(rendered.find("cluster1"), std::string::npos);
+  EXPECT_NE(rendered.find("length:"), std::string::npos);
+}
+
+// Property sweep: for random ED programs over all (issue, delay, scheme)
+// combinations, the schedule must satisfy every dependence and resource
+// constraint.
+struct SchedulePropertyParam {
+  int seed;
+  std::uint32_t issueWidth;
+  std::uint32_t delay;
+  passes::Scheme scheme;
+};
+
+class SchedulePropertyTest
+    : public ::testing::TestWithParam<SchedulePropertyParam> {};
+
+TEST_P(SchedulePropertyTest, ScheduleIsValid) {
+  const SchedulePropertyParam param = GetParam();
+  Program prog = testutil::makeRandomStraightLine(
+      static_cast<std::uint64_t>(param.seed) * 31 + 1, 50);
+  if (param.scheme != passes::Scheme::kNoed) {
+    passes::applyErrorDetection(prog);
+  }
+  const arch::MachineConfig config =
+      testutil::machine(param.issueWidth, param.delay);
+  passes::assignClusters(prog, config, param.scheme);
+  const ir::BasicBlock& block = prog.function(0).block(0);
+  const dfg::DataFlowGraph graph(block, config);
+  const BlockSchedule schedule = scheduleBlock(graph, config);
+  expectValidSchedule(schedule, graph, config);
+}
+
+std::vector<SchedulePropertyParam> scheduleParams() {
+  std::vector<SchedulePropertyParam> params;
+  for (int seed : {1, 2, 3}) {
+    for (std::uint32_t iw : {1u, 2u, 4u}) {
+      for (std::uint32_t delay : {1u, 4u}) {
+        for (passes::Scheme scheme :
+             {passes::Scheme::kSced, passes::Scheme::kDced,
+              passes::Scheme::kCasted}) {
+          params.push_back({seed, iw, delay, scheme});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulePropertyTest,
+                         ::testing::ValuesIn(scheduleParams()));
+
+}  // namespace
+}  // namespace casted::sched

@@ -1,0 +1,169 @@
+// FP-class spilling and mixed-pressure scenarios (the base spill_test
+// covers the GP path).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/pipeline.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "passes/liveness.h"
+#include "passes/spill.h"
+#include "sched/list_scheduler.h"
+#include "test_util.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::IrBuilder;
+using ir::Opcode;
+using ir::Program;
+using ir::Reg;
+using ir::RegClass;
+
+// Holds `live` FP values simultaneously, reduces them, stores the bits.
+Program fpPressureProgram(int live) {
+  Program prog;
+  const std::uint64_t out = prog.allocateGlobal("output", 8);
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  std::vector<Reg> values;
+  for (int i = 0; i < live; ++i) {
+    values.push_back(b.fMovImm(1.0 + 0.25 * i));
+  }
+  Reg sum = values[0];
+  for (int i = 1; i < live; ++i) {
+    sum = b.fAdd(sum, values[static_cast<std::size_t>(i)]);
+  }
+  const Reg base = b.movImm(static_cast<std::int64_t>(out));
+  b.fStore(base, 0, sum);
+  b.halt(b.movImm(0));
+  return prog;
+}
+
+double runOutputF64(const Program& prog) {
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sim::RunResult result = sim::simulate(
+      prog, sched::scheduleProgram(prog, config), config);
+  EXPECT_EQ(result.exit, sim::ExitKind::kHalted);
+  double value = 0.0;
+  std::memcpy(&value, result.output.data(), 8);
+  return value;
+}
+
+TEST(FpSpillTest, SpillsFpRegistersWhenOverCapacity) {
+  Program prog = fpPressureProgram(90);  // > 64 FP registers live
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const SpillStats stats = applySpilling(prog, config);
+  EXPECT_GT(stats.spilledRegs, 0u);
+  const LivenessInfo liveness = computeLiveness(prog.function(0));
+  EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kFp)],
+            config.registerFile.fp);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  // Spill code uses the FP load/store opcodes for FP victims.
+  bool sawFpSpill = false;
+  for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.origin == ir::InsnOrigin::kSpill &&
+        (insn.op == Opcode::kFLoad || insn.op == Opcode::kFStore)) {
+      sawFpSpill = true;
+    }
+  }
+  EXPECT_TRUE(sawFpSpill);
+}
+
+TEST(FpSpillTest, FpSemanticsPreservedExactly) {
+  Program reference = fpPressureProgram(90);
+  Program spilled = fpPressureProgram(90);
+  applySpilling(spilled, testutil::machine(2, 1));
+  // Bit-exact: spilling must not reassociate or round differently.
+  EXPECT_EQ(runOutputF64(spilled), runOutputF64(reference));
+}
+
+TEST(FpSpillTest, MixedPressureSpillsBothClasses) {
+  Program prog;
+  prog.allocateGlobal("output", 16);
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  std::vector<Reg> gps;
+  std::vector<Reg> fps;
+  for (int i = 0; i < 80; ++i) {
+    gps.push_back(b.movImm(i));
+    fps.push_back(b.fMovImm(0.5 * i));
+  }
+  Reg gsum = gps[0];
+  Reg fsum = fps[0];
+  for (int i = 1; i < 80; ++i) {
+    gsum = b.add(gsum, gps[static_cast<std::size_t>(i)]);
+    fsum = b.fAdd(fsum, fps[static_cast<std::size_t>(i)]);
+  }
+  const Reg base =
+      b.movImm(static_cast<std::int64_t>(prog.symbol("output").address));
+  b.store(base, 0, gsum);
+  b.fStore(base, 8, fsum);
+  b.halt(b.movImm(0));
+
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  applySpilling(prog, config);
+  const LivenessInfo liveness = computeLiveness(prog.function(0));
+  EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kGp)],
+            config.registerFile.gp);
+  EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kFp)],
+            config.registerFile.fp);
+  EXPECT_TRUE(ir::verify(prog).empty());
+  // Both spill flavours present.
+  bool sawG = false;
+  bool sawF = false;
+  for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.origin != ir::InsnOrigin::kSpill) {
+      continue;
+    }
+    sawG = sawG || insn.op == Opcode::kStore || insn.op == Opcode::kLoad;
+    sawF = sawF || insn.op == Opcode::kFStore || insn.op == Opcode::kFLoad;
+  }
+  EXPECT_TRUE(sawG);
+  EXPECT_TRUE(sawF);
+}
+
+TEST(FpSpillTest, SpilledFpProgramSurvivesFullPipeline) {
+  const Program prog = fpPressureProgram(50);  // duplication pushes FP > 64
+  const arch::MachineConfig machine = testutil::machine(2, 1);
+  core::PipelineOptions options;
+  options.modelRegisterPressure = true;
+  const core::CompiledProgram plain = core::compile(
+      prog, machine, Scheme::kNoed, options);
+  const core::CompiledProgram bin =
+      core::compile(prog, machine, Scheme::kCasted, options);
+  EXPECT_GT(bin.spillStats.spilledRegs, 0u);
+  const sim::RunResult a = core::run(plain);
+  const sim::RunResult b = core::run(bin);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(FpSpillTest, ResidualPrPressureReported) {
+  // Predicate registers cannot spill; the pass must report overshoot
+  // instead of looping forever.
+  Program prog;
+  prog.allocateGlobal("output", 8);
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  std::vector<Reg> preds;
+  for (int i = 0; i < 40; ++i) {
+    preds.push_back(b.cmpLtImm(b.movImm(i), 20));
+  }
+  Reg all = preds[0];
+  for (int i = 1; i < 40; ++i) {
+    all = b.pAnd(all, preds[static_cast<std::size_t>(i)]);
+  }
+  b.halt(b.select(all, b.movImm(1), b.movImm(0)));
+
+  arch::MachineConfig config = testutil::machine(2, 1);
+  const SpillStats stats = applySpilling(prog, config);
+  EXPECT_GT(stats.residualPrPressure, 0u);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+}  // namespace
+}  // namespace casted::passes

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sched/list_scheduler.h"
+
+#include "core/pipeline.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "passes/error_detection.h"
+#include "passes/liveness.h"
+#include "passes/spill.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::passes {
+namespace {
+
+using ir::IrBuilder;
+using ir::Program;
+using ir::Reg;
+using ir::RegClass;
+
+// A program holding `live` GP values alive simultaneously, then reducing
+// them into the output.
+Program highPressureProgram(int live) {
+  Program prog;
+  const std::uint64_t out = prog.allocateGlobal("output", 8);
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  std::vector<Reg> values;
+  for (int i = 0; i < live; ++i) {
+    values.push_back(b.movImm(i * 3 + 1));
+  }
+  Reg sum = values[0];
+  for (int i = 1; i < live; ++i) {
+    sum = b.add(sum, values[static_cast<std::size_t>(i)]);
+  }
+  b.store(b.movImm(static_cast<std::int64_t>(out)), 0, sum);
+  b.halt(b.movImm(0));
+  return prog;
+}
+
+std::int64_t runOutput(const Program& prog) {
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sched::ProgramSchedule schedule =
+      sched::scheduleProgram(prog, config);
+  const sim::RunResult result = sim::simulate(prog, schedule, config);
+  EXPECT_EQ(result.exit, sim::ExitKind::kHalted);
+  std::int64_t value = 0;
+  std::memcpy(&value, result.output.data(), 8);
+  return value;
+}
+
+TEST(SpillTest, NoSpillWhenPressureFits) {
+  Program prog = highPressureProgram(10);
+  const SpillStats stats = applySpilling(prog, testutil::machine(2, 1));
+  EXPECT_EQ(stats.spilledRegs, 0u);
+  EXPECT_FALSE(prog.hasSymbol("spill$main"));
+}
+
+TEST(SpillTest, SpillsUntilPressureFits) {
+  Program prog = highPressureProgram(100);  // > 64 GP registers live
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const SpillStats stats = applySpilling(prog, config);
+  EXPECT_GT(stats.spilledRegs, 0u);
+  EXPECT_GT(stats.spillStores, 0u);
+  EXPECT_GT(stats.spillReloads, 0u);
+  EXPECT_TRUE(prog.hasSymbol("spill$main"));
+  const LivenessInfo liveness = computeLiveness(prog.function(0));
+  EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kGp)],
+            config.registerFile.gp);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+TEST(SpillTest, SemanticsPreserved) {
+  Program reference = highPressureProgram(100);
+  Program spilled = highPressureProgram(100);
+  applySpilling(spilled, testutil::machine(2, 1));
+  EXPECT_EQ(runOutput(spilled), runOutput(reference));
+}
+
+TEST(SpillTest, SpillCodeIsCompilerGenerated) {
+  Program prog = highPressureProgram(100);
+  applySpilling(prog, testutil::machine(2, 1));
+  bool sawSpill = false;
+  for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.origin == ir::InsnOrigin::kSpill) {
+      sawSpill = true;
+      EXPECT_TRUE(insn.isMemory() || insn.op == ir::Opcode::kMovImm);
+    }
+  }
+  EXPECT_TRUE(sawSpill);
+}
+
+TEST(SpillTest, SpillCodeNotReplicatedByErrorDetection) {
+  // Pipeline order is ED then spilling, but spill code inserted first must
+  // survive a later ED application untouched (compiler-generated rule).
+  Program prog = highPressureProgram(100);
+  applySpilling(prog, testutil::machine(2, 1));
+  const std::size_t spillInsnsBefore = [&] {
+    std::size_t count = 0;
+    for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+      count += insn.origin == ir::InsnOrigin::kSpill ? 1 : 0;
+    }
+    return count;
+  }();
+  applyErrorDetection(prog);
+  std::size_t spillInsns = 0;
+  for (const ir::Instruction& insn : prog.function(0).block(0).insns()) {
+    if (insn.origin == ir::InsnOrigin::kSpill) {
+      ++spillInsns;
+      EXPECT_FALSE(insn.isReplicable());
+    }
+  }
+  EXPECT_EQ(spillInsns, spillInsnsBefore);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+TEST(SpillTest, DuplicationTriggersSpillsTheOriginalAvoids) {
+  // §IV-B1: code that fits the register file before duplication may spill
+  // after it — the shadow stream doubles the pressure.
+  Program original = highPressureProgram(40);
+  Program duplicated = highPressureProgram(40);
+  applyErrorDetection(duplicated);
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const SpillStats before = applySpilling(original, config);
+  const SpillStats after = applySpilling(duplicated, config);
+  EXPECT_EQ(before.spilledRegs, 0u);
+  EXPECT_GT(after.spilledRegs, 0u);
+  EXPECT_TRUE(ir::verify(duplicated).empty());
+}
+
+TEST(SpillTest, PipelineIntegrationPreservesWorkloadOutput) {
+  const workloads::Workload wl = workloads::makeCjpeg(1);
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  core::PipelineOptions options;
+  const core::CompiledProgram plain =
+      core::compile(wl.program, config, Scheme::kSced, options);
+  options.modelRegisterPressure = true;
+  const core::CompiledProgram spilled =
+      core::compile(wl.program, config, Scheme::kSced, options);
+  EXPECT_GT(spilled.spillStats.spilledRegs, 0u);  // the DCT block overflows
+  const sim::RunResult a = core::run(plain);
+  const sim::RunResult b = core::run(spilled);
+  EXPECT_EQ(a.output, b.output);
+  // Spilling costs cycles — that is the point.
+  EXPECT_GT(b.stats.cycles, a.stats.cycles);
+}
+
+TEST(SpillTest, SpilledParameterStoredAtEntry) {
+  Program prog;
+  prog.allocateGlobal("output", 8);
+  ir::Function& helper = prog.addFunction("helper");
+  const Reg param = helper.newReg(RegClass::kGp);
+  helper.params() = {param};
+  helper.returnClasses() = {RegClass::kGp};
+  {
+    IrBuilder hb(helper);
+    hb.setBlock(hb.createBlock("body"));
+    // Lots of pressure inside the helper, with the parameter used last.
+    std::vector<Reg> values;
+    for (int i = 0; i < 70; ++i) {
+      values.push_back(hb.movImm(i));
+    }
+    Reg sum = values[0];
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      sum = hb.add(sum, values[i]);
+    }
+    hb.ret({hb.add(sum, param)});
+  }
+  ir::Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  {
+    IrBuilder b(main);
+    b.setBlock(b.createBlock("entry"));
+    const Reg v = b.call(helper, {b.movImm(1000)})[0];
+    b.halt(v);
+  }
+  const Program reference = prog;
+  applySpilling(prog, testutil::machine(2, 1));
+  EXPECT_TRUE(ir::verify(prog).empty());
+  // Behaviour unchanged: exit code = sum + 1000.
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sim::RunResult spilled = sim::simulate(
+      prog, sched::scheduleProgram(prog, config), config);
+  const sim::RunResult plain = sim::simulate(
+      reference, sched::scheduleProgram(reference, config), config);
+  EXPECT_EQ(spilled.exitCode, plain.exitCode);
+}
+
+// --- split checks -----------------------------------------------------------
+
+TEST(SplitChecksTest, EmitsComparePlusTrapPairs) {
+  Program prog = testutil::makeTinyProgram();
+  ErrorDetectionOptions options;
+  options.splitChecks = true;
+  const ErrorDetectionStats stats = applyErrorDetection(prog, options);
+  EXPECT_GT(stats.checks, 0u);
+  std::size_t cmps = 0;
+  std::size_t traps = 0;
+  const auto& insns = prog.function(0).block(0).insns();
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    if (insns[i].op == ir::Opcode::kTrapIf) {
+      ++traps;
+      ASSERT_GT(i, 0u);
+      // The trap consumes the predicate of the compare just before it.
+      EXPECT_EQ(insns[i - 1].defs[0], insns[i].uses[0]);
+      EXPECT_EQ(insns[i - 1].origin, ir::InsnOrigin::kCheck);
+    }
+    if (insns[i].origin == ir::InsnOrigin::kCheck && !insns[i].defs.empty()) {
+      ++cmps;
+    }
+  }
+  EXPECT_EQ(cmps, traps);
+  EXPECT_EQ(traps, stats.checks);
+  EXPECT_TRUE(ir::verify(prog).empty());
+}
+
+TEST(SplitChecksTest, DetectsInjectedFaults) {
+  const workloads::Workload wl = workloads::makeParser(1);
+  const arch::MachineConfig config = testutil::machine(2, 2);
+  core::PipelineOptions options;
+  options.errorDetection.splitChecks = true;
+  const core::CompiledProgram bin =
+      core::compile(wl.program, config, Scheme::kCasted, options);
+  fault::CampaignOptions campaignOptions;
+  campaignOptions.trials = 30;
+  const fault::CoverageReport report = core::campaign(bin, campaignOptions);
+  EXPECT_GT(report.fraction(fault::Outcome::kDetected), 0.2);
+  EXPECT_EQ(report.counts[static_cast<int>(fault::Outcome::kDataCorrupt)],
+            0u);
+}
+
+TEST(SplitChecksTest, SplitCostsMoreThanFused) {
+  const workloads::Workload wl = workloads::makeH263enc(1);
+  const arch::MachineConfig config = testutil::machine(1, 1);
+  core::PipelineOptions fused;
+  core::PipelineOptions split;
+  split.errorDetection.splitChecks = true;
+  const sim::RunResult fusedRun = core::run(
+      core::compile(wl.program, config, Scheme::kSced, fused));
+  const sim::RunResult splitRun = core::run(
+      core::compile(wl.program, config, Scheme::kSced, split));
+  EXPECT_GT(splitRun.stats.cycles, fusedRun.stats.cycles);
+  EXPECT_EQ(splitRun.output, fusedRun.output);
+}
+
+TEST(SplitChecksTest, FloatSplitCheckIsBitExact) {
+  // fcmpneb must compare bit patterns (a NaN equals itself here).
+  Program prog;
+  prog.allocateGlobal("output", 8);
+  ir::Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  const Reg nan = b.fDiv(b.fMovImm(0.0), b.fMovImm(0.0));
+  const Reg nanCopy = b.fMov(nan);
+  const Reg differs = b.emit(ir::Opcode::kFCmpNeBits,
+                             {fn.newReg(RegClass::kPr)}, {nan, nanCopy})
+                          .defs[0];
+  b.emit(ir::Opcode::kTrapIf, {}, {differs}).origin =
+      ir::InsnOrigin::kCheck;
+  b.halt(b.movImm(0));
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const sim::RunResult result = sim::simulate(
+      prog, sched::scheduleProgram(prog, config), config);
+  EXPECT_EQ(result.exit, sim::ExitKind::kHalted);  // NOT detected
+}
+
+}  // namespace
+}  // namespace casted::passes

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+namespace casted {
+namespace {
+
+// --- CASTED_CHECK ----------------------------------------------------------
+
+TEST(CheckTest, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(CASTED_CHECK(1 + 1 == 2) << "never shown");
+}
+
+TEST(CheckTest, FailingConditionThrowsFatalError) {
+  EXPECT_THROW(CASTED_CHECK(false) << "context", FatalError);
+}
+
+TEST(CheckTest, MessageContainsExpressionAndContext) {
+  try {
+    const int x = 42;
+    CASTED_CHECK(x < 0) << "x=" << x;
+    FAIL() << "expected FatalError";
+  } catch (const FatalError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("x < 0"), std::string::npos);
+    EXPECT_NE(what.find("x=42"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, UnreachableThrows) {
+  EXPECT_THROW(CASTED_UNREACHABLE("boom"), FatalError);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.nextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.nextBelow(0), FatalError);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.nextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(11);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.nextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo = sawLo || v == -3;
+    sawHi = sawHi || v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, NextInRangeEmptyThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.nextInRange(3, 2), FatalError);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbabilityExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng childA = parent.fork();
+  Rng childB = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (childA.next() == childB.next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- statistics ---------------------------------------------------------------
+
+TEST(StatisticsTest, EmptySummaryIsZero) {
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatisticsTest, SingleValue) {
+  const std::vector<double> values = {4.0};
+  const SampleSummary s = summarize(values);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.geomean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatisticsTest, MeanAndExtremes) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const SampleSummary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(StatisticsTest, GeomeanOfPowersOfTwo) {
+  const std::vector<double> values = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_NEAR(geomean(values), 2.8284271247461903, 1e-12);
+}
+
+TEST(StatisticsTest, GeomeanRejectsNonPositive) {
+  const std::vector<double> values = {1.0, 0.0};
+  EXPECT_THROW(geomean(values), FatalError);
+}
+
+TEST(StatisticsTest, StddevOfConstantIsZero) {
+  const std::vector<double> values = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(summarize(values).stddev, 0.0);
+}
+
+TEST(StatisticsTest, FormatFixed) {
+  EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(formatFixed(1.0, 0), "1");
+  EXPECT_EQ(formatFixed(-0.5, 1), "-0.5");
+}
+
+TEST(StatisticsTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.425), "42.5%");
+  EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+// --- TextTable -------------------------------------------------------------------
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.addRow({"alpha", "1"});
+  table.addRow({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTableTest, SeparatorAddsRule) {
+  TextTable table({"x"});
+  table.addRow({"1"});
+  table.addSeparator();
+  table.addRow({"2"});
+  const std::string out = table.render();
+  // top + header rule + separator + bottom = 4 horizontal rules
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+// --- CsvWriter ----------------------------------------------------------------
+
+TEST(CsvWriterTest, BasicRendering) {
+  CsvWriter csv({"a", "b"});
+  csv.addRow({"1", "2"});
+  EXPECT_EQ(csv.render(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"a"});
+  csv.addRow({"x,y"});
+  csv.addRow({"he said \"hi\""});
+  const std::string out = csv.render();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, RejectsWrongArity) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.addRow({"1"}), FatalError);
+}
+
+}  // namespace
+}  // namespace casted

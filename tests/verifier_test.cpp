@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "support/check.h"
+#include "test_util.h"
+
+namespace casted::ir {
+namespace {
+
+TEST(VerifierTest, TinyProgramIsClean) {
+  const Program prog = testutil::makeTinyProgram();
+  EXPECT_TRUE(verify(prog).empty());
+  EXPECT_NO_THROW(verifyOrThrow(prog));
+}
+
+TEST(VerifierTest, LoopProgramIsClean) {
+  EXPECT_TRUE(verify(testutil::makeLoopProgram(10)).empty());
+}
+
+TEST(VerifierTest, EmptyProgramRejected) {
+  const Program prog;
+  const auto errors = verify(prog);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("no functions"), std::string::npos);
+}
+
+TEST(VerifierTest, EmptyBlockRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  fn.addBlock("entry");
+  const auto errors = verify(prog);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(VerifierTest, MissingTerminatorRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  b.setBlock(b.createBlock("entry"));
+  b.movImm(1);
+  const auto errors = verify(prog);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, TerminatorMidBlockRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg v = b.movImm(0);
+  b.halt(v);
+  // Smuggle an instruction past the builder's guard.
+  Instruction extra;
+  extra.op = Opcode::kNop;
+  extra.id = fn.newInsnId();
+  entry.insns().push_back(extra);
+  const auto errors = verify(prog);
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST(VerifierTest, OperandClassMismatchRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg v = b.movImm(0);
+  b.halt(v);
+  // Corrupt: add expects GP uses, give it a predicate.
+  Instruction bad;
+  bad.op = Opcode::kAdd;
+  bad.id = fn.newInsnId();
+  bad.defs = {fn.newReg(RegClass::kGp)};
+  bad.uses = {fn.newReg(RegClass::kPr), fn.newReg(RegClass::kGp)};
+  entry.insns().insert(entry.insns().begin(), bad);
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("class") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, OutOfRangeRegisterRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  b.halt(b.movImm(0));
+  Instruction bad;
+  bad.op = Opcode::kMov;
+  bad.id = fn.newInsnId();
+  bad.defs = {fn.newReg(RegClass::kGp)};
+  bad.uses = {Reg(RegClass::kGp, 1000)};
+  entry.insns().insert(entry.insns().begin(), bad);
+  EXPECT_FALSE(verify(prog).empty());
+}
+
+TEST(VerifierTest, BadBranchTargetRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  Instruction& br = b.emit(Opcode::kBr, {}, {});
+  br.target = 17;  // no such block
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("does not exist") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, ReadBeforeWriteRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg uninit = fn.newReg(RegClass::kGp);
+  b.emit(Opcode::kHalt, {}, {uninit});
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("before assignment") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, ReadDefinedOnOnlyOnePathRejected) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& left = b.createBlock("left");
+  BasicBlock& right = b.createBlock("right");
+  BasicBlock& merge = b.createBlock("merge");
+  const Reg v = fn.newReg(RegClass::kGp);
+  b.setBlock(entry);
+  const Reg p = b.pSetImm(true);
+  b.brCond(p, left, right);
+  b.setBlock(left);
+  b.movImmTo(v, 1);  // defined on the left path only
+  b.br(merge);
+  b.setBlock(right);
+  b.br(merge);
+  b.setBlock(merge);
+  b.halt(v);
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("before assignment") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, ReadDefinedOnBothPathsAccepted) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  BasicBlock& left = b.createBlock("left");
+  BasicBlock& right = b.createBlock("right");
+  BasicBlock& merge = b.createBlock("merge");
+  const Reg v = fn.newReg(RegClass::kGp);
+  b.setBlock(entry);
+  const Reg p = b.pSetImm(true);
+  b.brCond(p, left, right);
+  b.setBlock(left);
+  b.movImmTo(v, 1);
+  b.br(merge);
+  b.setBlock(right);
+  b.movImmTo(v, 2);
+  b.br(merge);
+  b.setBlock(merge);
+  b.halt(v);
+  EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(VerifierTest, LoopCarriedValueAccepted) {
+  // sum defined before the loop, read+written inside: must be accepted.
+  EXPECT_TRUE(verify(testutil::makeLoopProgram(3)).empty());
+}
+
+TEST(VerifierTest, ParameterCountsAsAssigned) {
+  Program prog;
+  Function& helper = prog.addFunction("helper");
+  const Reg param = helper.newReg(RegClass::kGp);
+  helper.params() = {param};
+  helper.returnClasses() = {RegClass::kGp};
+  {
+    IrBuilder b(helper);
+    b.setBlock(b.createBlock("body"));
+    b.ret({param});
+  }
+  Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  {
+    IrBuilder b(main);
+    b.setBlock(b.createBlock("entry"));
+    const Reg v = b.call(helper, {b.movImm(7)})[0];
+    b.halt(v);
+  }
+  EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(VerifierTest, CallArityMismatchRejected) {
+  Program prog;
+  Function& helper = prog.addFunction("helper");
+  helper.params() = {helper.newReg(RegClass::kGp)};
+  {
+    IrBuilder b(helper);
+    b.setBlock(b.createBlock("body"));
+    b.ret({});
+  }
+  Function& main = prog.addFunction("main");
+  prog.setEntryFunction(main.id());
+  IrBuilder b(main);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  Instruction call;
+  call.op = Opcode::kCall;
+  call.id = main.newInsnId();
+  call.callee = helper.id();
+  // no args — helper takes one
+  entry.insns().push_back(call);
+  b.halt(b.movImm(0));
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("args") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, EntryWithParametersRejected) {
+  Program prog;
+  Function& main = prog.addFunction("main");
+  main.params() = {main.newReg(RegClass::kGp)};
+  IrBuilder b(main);
+  b.setBlock(b.createBlock("entry"));
+  b.halt(b.movImm(0));
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("entry function") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, DuplicateLinkConsistencyEnforced) {
+  Program prog;
+  Function& fn = prog.addFunction("main");
+  IrBuilder b(fn);
+  BasicBlock& entry = b.createBlock("entry");
+  b.setBlock(entry);
+  const Reg v = b.movImm(1);
+  b.halt(v);
+  // Claim duplicate origin without a link.
+  entry.insns()[0].origin = InsnOrigin::kDuplicate;
+  bool found = false;
+  for (const std::string& error : verify(prog)) {
+    if (error.find("duplicateOf") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierTest, VerifyOrThrowAggregatesErrors) {
+  Program prog;
+  prog.addFunction("main");
+  EXPECT_THROW(verifyOrThrow(prog), FatalError);
+}
+
+// Property sweep: random straight-line programs are always verifier-clean.
+class RandomProgramVerifyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramVerifyTest, RandomStraightLineIsClean) {
+  const Program prog = testutil::makeRandomStraightLine(
+      static_cast<std::uint64_t>(GetParam()) * 7919, 60);
+  EXPECT_TRUE(verify(prog).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramVerifyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace casted::ir

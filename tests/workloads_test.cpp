@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/pipeline.h"
+#include "ir/verifier.h"
+#include "support/check.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::workloads {
+namespace {
+
+using passes::Scheme;
+
+sim::RunResult runWorkload(const Workload& wl, Scheme scheme = Scheme::kNoed,
+                           std::uint32_t iw = 2, std::uint32_t delay = 1) {
+  const core::CompiledProgram bin =
+      core::compile(wl.program, testutil::machine(iw, delay), scheme);
+  return core::run(bin);
+}
+
+// Every workload, as a parameterised suite: verifies, halts cleanly with
+// exit code 0, touches its output, and is deterministic.
+class WorkloadSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSuiteTest, VerifiesClean) {
+  const Workload wl = makeWorkload(GetParam(), 1);
+  EXPECT_TRUE(ir::verify(wl.program).empty());
+  EXPECT_TRUE(wl.program.hasSymbol("output"));
+  EXPECT_EQ(wl.name, GetParam());
+  EXPECT_FALSE(wl.suite.empty());
+}
+
+TEST_P(WorkloadSuiteTest, RunsToCompletion) {
+  const Workload wl = makeWorkload(GetParam(), 1);
+  const sim::RunResult result = runWorkload(wl);
+  EXPECT_EQ(result.exit, sim::ExitKind::kHalted);
+  EXPECT_EQ(result.exitCode, 0);
+  EXPECT_GT(result.stats.dynamicInsns, 1000u);
+}
+
+TEST_P(WorkloadSuiteTest, OutputNotAllZero) {
+  const Workload wl = makeWorkload(GetParam(), 1);
+  const sim::RunResult result = runWorkload(wl);
+  bool nonZero = false;
+  for (std::uint8_t byte : result.output) {
+    nonZero = nonZero || byte != 0;
+  }
+  EXPECT_TRUE(nonZero);
+}
+
+TEST_P(WorkloadSuiteTest, DeterministicAcrossConstruction) {
+  const sim::RunResult a = runWorkload(makeWorkload(GetParam(), 1));
+  const sim::RunResult b = runWorkload(makeWorkload(GetParam(), 1));
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+TEST_P(WorkloadSuiteTest, ScaleIncreasesWork) {
+  const sim::RunResult small = runWorkload(makeWorkload(GetParam(), 1));
+  const sim::RunResult large = runWorkload(makeWorkload(GetParam(), 3));
+  EXPECT_GT(large.stats.dynamicInsns, small.stats.dynamicInsns * 2);
+}
+
+// The load-bearing invariant for the whole evaluation: error detection must
+// not change program semantics — all four schemes produce the identical
+// output bytes.
+TEST_P(WorkloadSuiteTest, AllSchemesPreserveOutput) {
+  const Workload wl = makeWorkload(GetParam(), 1);
+  const sim::RunResult noed = runWorkload(wl, Scheme::kNoed);
+  for (Scheme scheme : {Scheme::kSced, Scheme::kDced, Scheme::kCasted}) {
+    const sim::RunResult result = runWorkload(wl, scheme);
+    EXPECT_EQ(result.exit, sim::ExitKind::kHalted)
+        << schemeName(scheme);
+    EXPECT_EQ(result.output, noed.output) << schemeName(scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSuiteTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(WorkloadRegistryTest, SevenBenchmarksInTableOrder) {
+  const auto& names = workloadNames();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "cjpeg");
+  EXPECT_EQ(names[3], "h263enc");
+  EXPECT_EQ(names[4], "175.vpr");
+}
+
+TEST(WorkloadRegistryTest, AliasesAccepted) {
+  EXPECT_EQ(makeWorkload("vpr", 1).name, "175.vpr");
+  EXPECT_EQ(makeWorkload("mcf", 1).name, "181.mcf");
+  EXPECT_EQ(makeWorkload("parser", 1).name, "197.parser");
+}
+
+TEST(WorkloadRegistryTest, UnknownNameThrows) {
+  EXPECT_THROW(makeWorkload("gcc", 1), FatalError);
+}
+
+TEST(WorkloadRegistryTest, MakeAllBuildsSeven) {
+  EXPECT_EQ(makeAllWorkloads(1).size(), 7u);
+}
+
+// --- per-workload character checks (what each stands in for) -----------------
+
+TEST(WorkloadCharacterTest, CjpegHasLargeBlocksAndHighIlp) {
+  const Workload wl = makeCjpeg(1);
+  std::size_t maxBlock = 0;
+  for (ir::BlockId b = 0; b < wl.program.function(0).blockCount(); ++b) {
+    maxBlock = std::max(maxBlock,
+                        wl.program.function(0).block(b).insns().size());
+  }
+  EXPECT_GT(maxBlock, 300u);  // straight-line DCT body
+}
+
+TEST(WorkloadCharacterTest, H263encIsBranchy) {
+  const Workload wl = makeH263enc(1);
+  const sim::RunResult result = runWorkload(wl);
+  // Small blocks: average under ~20 instructions per executed block
+  // (cjpeg, by contrast, averages hundreds).
+  const double insnsPerBlock =
+      static_cast<double>(result.stats.dynamicInsns) /
+      static_cast<double>(result.stats.blockExecutions);
+  EXPECT_LT(insnsPerBlock, 20.0);
+}
+
+TEST(WorkloadCharacterTest, McfIsMemoryBound) {
+  const Workload wl = makeMcf(1);
+  const sim::RunResult result = runWorkload(wl);
+  // A third or more of the cycles are cache stalls.
+  EXPECT_GT(static_cast<double>(result.stats.stallCycles),
+            0.25 * static_cast<double>(result.stats.cycles));
+  // And the L1 miss rate is substantial (working set > L1).
+  const auto& l1 = result.stats.cacheLevel[0];
+  EXPECT_GT(static_cast<double>(l1.misses),
+            0.1 * static_cast<double>(l1.hits + l1.misses));
+}
+
+TEST(WorkloadCharacterTest, VprUsesFloatingPointAndCalls) {
+  const Workload wl = makeVpr(1);
+  bool hasFp = false;
+  bool hasCall = false;
+  for (ir::FuncId f = 0; f < wl.program.functionCount(); ++f) {
+    const ir::Function& fn = wl.program.function(f);
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      for (const ir::Instruction& insn : fn.block(b).insns()) {
+        hasFp = hasFp || insn.op == ir::Opcode::kFMul;
+        hasCall = hasCall || insn.isCall();
+      }
+    }
+  }
+  EXPECT_TRUE(hasFp);
+  EXPECT_TRUE(hasCall);
+}
+
+TEST(WorkloadCharacterTest, ParserCountsTokensPlausibly) {
+  const Workload wl = makeParser(1);
+  const sim::RunResult result = runWorkload(wl);
+  std::int64_t words = 0;
+  std::int64_t numbers = 0;
+  std::memcpy(&words, result.output.data(), 8);
+  std::memcpy(&numbers, result.output.data() + 8, 8);
+  // ~55% letters / 15% digits over 1500 chars: both token kinds appear, and
+  // there are more word tokens than number tokens.
+  EXPECT_GT(words, 50);
+  EXPECT_GT(numbers, 10);
+  EXPECT_GT(words, numbers);
+}
+
+TEST(WorkloadCharacterTest, EncodersMaskMoreThanDecoders) {
+  // cjpeg folds its block results into checksums; its output region is far
+  // smaller than mpeg2dec's reconstructed frame, so more injected errors
+  // are architecturally masked (paper §IV-C on encoding benchmarks).
+  const Workload enc = makeCjpeg(1);
+  const Workload dec = makeMpeg2dec(1);
+  const double encRatio =
+      static_cast<double>(enc.program.symbol("output").size) /
+      static_cast<double>(enc.program.symbol("input").size);
+  const double decRatio =
+      static_cast<double>(dec.program.symbol("output").size) /
+      static_cast<double>(dec.program.symbol("coeff").size);
+  EXPECT_LT(encRatio, decRatio);
+}
+
+}  // namespace
+}  // namespace casted::workloads
