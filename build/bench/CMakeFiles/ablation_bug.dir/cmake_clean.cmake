@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bug.dir/ablation_bug.cpp.o"
+  "CMakeFiles/ablation_bug.dir/ablation_bug.cpp.o.d"
+  "ablation_bug"
+  "ablation_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checks.dir/ablation_checks.cpp.o"
+  "CMakeFiles/ablation_checks.dir/ablation_checks.cpp.o.d"
+  "ablation_checks"
+  "ablation_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coverage_tradeoff.dir/ablation_coverage_tradeoff.cpp.o"
+  "CMakeFiles/ablation_coverage_tradeoff.dir/ablation_coverage_tradeoff.cpp.o.d"
+  "ablation_coverage_tradeoff"
+  "ablation_coverage_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coverage_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_library.dir/ablation_library.cpp.o"
+  "CMakeFiles/ablation_library.dir/ablation_library.cpp.o.d"
+  "ablation_library"
+  "ablation_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_protection.dir/ablation_protection.cpp.o"
+  "CMakeFiles/ablation_protection.dir/ablation_protection.cpp.o.d"
+  "ablation_protection"
+  "ablation_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spill.dir/ablation_spill.cpp.o"
+  "CMakeFiles/ablation_spill.dir/ablation_spill.cpp.o.d"
+  "ablation_spill"
+  "ablation_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

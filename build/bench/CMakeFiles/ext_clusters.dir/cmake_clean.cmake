@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clusters.dir/ext_clusters.cpp.o"
+  "CMakeFiles/ext_clusters.dir/ext_clusters.cpp.o.d"
+  "ext_clusters"
+  "ext_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

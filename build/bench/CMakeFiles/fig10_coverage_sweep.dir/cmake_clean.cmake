@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_coverage_sweep.dir/fig10_coverage_sweep.cpp.o"
+  "CMakeFiles/fig10_coverage_sweep.dir/fig10_coverage_sweep.cpp.o.d"
+  "fig10_coverage_sweep"
+  "fig10_coverage_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_coverage_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

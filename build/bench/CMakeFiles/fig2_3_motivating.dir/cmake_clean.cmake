@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_3_motivating.dir/fig2_3_motivating.cpp.o"
+  "CMakeFiles/fig2_3_motivating.dir/fig2_3_motivating.cpp.o.d"
+  "fig2_3_motivating"
+  "fig2_3_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_3_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fault_coverage.dir/fig9_fault_coverage.cpp.o"
+  "CMakeFiles/fig9_fault_coverage.dir/fig9_fault_coverage.cpp.o.d"
+  "fig9_fault_coverage"
+  "fig9_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_schemes.dir/table3_schemes.cpp.o"
+  "CMakeFiles/table3_schemes.dir/table3_schemes.cpp.o.d"
+  "table3_schemes"
+  "table3_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

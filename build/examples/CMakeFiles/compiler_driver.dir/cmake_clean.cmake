@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_driver.dir/compiler_driver.cpp.o"
+  "CMakeFiles/compiler_driver.dir/compiler_driver.cpp.o.d"
+  "compiler_driver"
+  "compiler_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_custom_kernel.dir/protect_custom_kernel.cpp.o"
+  "CMakeFiles/protect_custom_kernel.dir/protect_custom_kernel.cpp.o.d"
+  "protect_custom_kernel"
+  "protect_custom_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_custom_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

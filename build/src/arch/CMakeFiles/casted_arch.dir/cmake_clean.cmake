@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_arch.dir/machine_config.cpp.o"
+  "CMakeFiles/casted_arch.dir/machine_config.cpp.o.d"
+  "libcasted_arch.a"
+  "libcasted_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

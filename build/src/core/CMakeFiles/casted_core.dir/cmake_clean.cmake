@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_core.dir/analysis.cpp.o"
+  "CMakeFiles/casted_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/casted_core.dir/pipeline.cpp.o"
+  "CMakeFiles/casted_core.dir/pipeline.cpp.o.d"
+  "libcasted_core.a"
+  "libcasted_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_dfg.dir/dfg.cpp.o"
+  "CMakeFiles/casted_dfg.dir/dfg.cpp.o.d"
+  "libcasted_dfg.a"
+  "libcasted_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

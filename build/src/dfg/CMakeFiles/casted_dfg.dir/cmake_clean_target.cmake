@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcasted_dfg.a"
+)

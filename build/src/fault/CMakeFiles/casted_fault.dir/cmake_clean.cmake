@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_fault.dir/campaign.cpp.o"
+  "CMakeFiles/casted_fault.dir/campaign.cpp.o.d"
+  "libcasted_fault.a"
+  "libcasted_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_ir.dir/builder.cpp.o"
+  "CMakeFiles/casted_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/function.cpp.o"
+  "CMakeFiles/casted_ir.dir/function.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/instruction.cpp.o"
+  "CMakeFiles/casted_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/opcode.cpp.o"
+  "CMakeFiles/casted_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/parser.cpp.o"
+  "CMakeFiles/casted_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/printer.cpp.o"
+  "CMakeFiles/casted_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/reg.cpp.o"
+  "CMakeFiles/casted_ir.dir/reg.cpp.o.d"
+  "CMakeFiles/casted_ir.dir/verifier.cpp.o"
+  "CMakeFiles/casted_ir.dir/verifier.cpp.o.d"
+  "libcasted_ir.a"
+  "libcasted_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

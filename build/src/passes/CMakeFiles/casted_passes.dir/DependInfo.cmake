@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/assignment.cpp" "src/passes/CMakeFiles/casted_passes.dir/assignment.cpp.o" "gcc" "src/passes/CMakeFiles/casted_passes.dir/assignment.cpp.o.d"
+  "/root/repo/src/passes/early_opts.cpp" "src/passes/CMakeFiles/casted_passes.dir/early_opts.cpp.o" "gcc" "src/passes/CMakeFiles/casted_passes.dir/early_opts.cpp.o.d"
+  "/root/repo/src/passes/error_detection.cpp" "src/passes/CMakeFiles/casted_passes.dir/error_detection.cpp.o" "gcc" "src/passes/CMakeFiles/casted_passes.dir/error_detection.cpp.o.d"
+  "/root/repo/src/passes/late_opts.cpp" "src/passes/CMakeFiles/casted_passes.dir/late_opts.cpp.o" "gcc" "src/passes/CMakeFiles/casted_passes.dir/late_opts.cpp.o.d"
+  "/root/repo/src/passes/liveness.cpp" "src/passes/CMakeFiles/casted_passes.dir/liveness.cpp.o" "gcc" "src/passes/CMakeFiles/casted_passes.dir/liveness.cpp.o.d"
+  "/root/repo/src/passes/spill.cpp" "src/passes/CMakeFiles/casted_passes.dir/spill.cpp.o" "gcc" "src/passes/CMakeFiles/casted_passes.dir/spill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/casted_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/casted_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/casted_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/casted_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casted_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

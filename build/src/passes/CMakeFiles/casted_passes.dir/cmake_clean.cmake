@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_passes.dir/assignment.cpp.o"
+  "CMakeFiles/casted_passes.dir/assignment.cpp.o.d"
+  "CMakeFiles/casted_passes.dir/early_opts.cpp.o"
+  "CMakeFiles/casted_passes.dir/early_opts.cpp.o.d"
+  "CMakeFiles/casted_passes.dir/error_detection.cpp.o"
+  "CMakeFiles/casted_passes.dir/error_detection.cpp.o.d"
+  "CMakeFiles/casted_passes.dir/late_opts.cpp.o"
+  "CMakeFiles/casted_passes.dir/late_opts.cpp.o.d"
+  "CMakeFiles/casted_passes.dir/liveness.cpp.o"
+  "CMakeFiles/casted_passes.dir/liveness.cpp.o.d"
+  "CMakeFiles/casted_passes.dir/spill.cpp.o"
+  "CMakeFiles/casted_passes.dir/spill.cpp.o.d"
+  "libcasted_passes.a"
+  "libcasted_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/casted_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/casted_sched.dir/reservation_table.cpp.o"
+  "CMakeFiles/casted_sched.dir/reservation_table.cpp.o.d"
+  "CMakeFiles/casted_sched.dir/schedule.cpp.o"
+  "CMakeFiles/casted_sched.dir/schedule.cpp.o.d"
+  "libcasted_sched.a"
+  "libcasted_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_sim.dir/cache.cpp.o"
+  "CMakeFiles/casted_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/casted_sim.dir/memory.cpp.o"
+  "CMakeFiles/casted_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/casted_sim.dir/simulator.cpp.o"
+  "CMakeFiles/casted_sim.dir/simulator.cpp.o.d"
+  "libcasted_sim.a"
+  "libcasted_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

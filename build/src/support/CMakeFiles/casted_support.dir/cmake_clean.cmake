@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_support.dir/check.cpp.o"
+  "CMakeFiles/casted_support.dir/check.cpp.o.d"
+  "CMakeFiles/casted_support.dir/rng.cpp.o"
+  "CMakeFiles/casted_support.dir/rng.cpp.o.d"
+  "CMakeFiles/casted_support.dir/statistics.cpp.o"
+  "CMakeFiles/casted_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/casted_support.dir/table.cpp.o"
+  "CMakeFiles/casted_support.dir/table.cpp.o.d"
+  "libcasted_support.a"
+  "libcasted_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

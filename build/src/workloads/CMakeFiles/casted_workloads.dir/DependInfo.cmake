@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cjpeg.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/cjpeg.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/cjpeg.cpp.o.d"
+  "/root/repo/src/workloads/h263dec.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/h263dec.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/h263dec.cpp.o.d"
+  "/root/repo/src/workloads/h263enc.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/h263enc.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/h263enc.cpp.o.d"
+  "/root/repo/src/workloads/mcf.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/mcf.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/mcf.cpp.o.d"
+  "/root/repo/src/workloads/mpeg2dec.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/mpeg2dec.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/mpeg2dec.cpp.o.d"
+  "/root/repo/src/workloads/parser.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/parser.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/parser.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/vpr.cpp" "src/workloads/CMakeFiles/casted_workloads.dir/vpr.cpp.o" "gcc" "src/workloads/CMakeFiles/casted_workloads.dir/vpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/casted_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casted_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casted_workloads.dir/cjpeg.cpp.o"
+  "CMakeFiles/casted_workloads.dir/cjpeg.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/h263dec.cpp.o"
+  "CMakeFiles/casted_workloads.dir/h263dec.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/h263enc.cpp.o"
+  "CMakeFiles/casted_workloads.dir/h263enc.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/mcf.cpp.o"
+  "CMakeFiles/casted_workloads.dir/mcf.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/mpeg2dec.cpp.o"
+  "CMakeFiles/casted_workloads.dir/mpeg2dec.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/parser.cpp.o"
+  "CMakeFiles/casted_workloads.dir/parser.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/registry.cpp.o"
+  "CMakeFiles/casted_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/casted_workloads.dir/vpr.cpp.o"
+  "CMakeFiles/casted_workloads.dir/vpr.cpp.o.d"
+  "libcasted_workloads.a"
+  "libcasted_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casted_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

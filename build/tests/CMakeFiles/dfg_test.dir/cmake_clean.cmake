@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_test.dir/dfg_test.cpp.o"
+  "CMakeFiles/dfg_test.dir/dfg_test.cpp.o.d"
+  "dfg_test"
+  "dfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_opts_test.dir/early_opts_test.cpp.o"
+  "CMakeFiles/early_opts_test.dir/early_opts_test.cpp.o.d"
+  "early_opts_test"
+  "early_opts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_opts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

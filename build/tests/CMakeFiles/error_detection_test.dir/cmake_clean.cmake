@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_detection_test.dir/error_detection_test.cpp.o"
+  "CMakeFiles/error_detection_test.dir/error_detection_test.cpp.o.d"
+  "error_detection_test"
+  "error_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

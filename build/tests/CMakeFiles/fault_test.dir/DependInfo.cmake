@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/fault_test.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/casted_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/casted_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/casted_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/casted_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/casted_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/casted_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/casted_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/casted_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/casted_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casted_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

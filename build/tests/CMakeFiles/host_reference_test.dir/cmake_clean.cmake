@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_reference_test.dir/host_reference_test.cpp.o"
+  "CMakeFiles/host_reference_test.dir/host_reference_test.cpp.o.d"
+  "host_reference_test"
+  "host_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passes_opt_test.dir/passes_opt_test.cpp.o"
+  "CMakeFiles/passes_opt_test.dir/passes_opt_test.cpp.o.d"
+  "passes_opt_test"
+  "passes_opt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passes_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_parser_test.dir/printer_parser_test.cpp.o"
+  "CMakeFiles/printer_parser_test.dir/printer_parser_test.cpp.o.d"
+  "printer_parser_test"
+  "printer_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

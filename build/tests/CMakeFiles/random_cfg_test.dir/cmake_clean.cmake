@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_cfg_test.dir/random_cfg_test.cpp.o"
+  "CMakeFiles/random_cfg_test.dir/random_cfg_test.cpp.o.d"
+  "random_cfg_test"
+  "random_cfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

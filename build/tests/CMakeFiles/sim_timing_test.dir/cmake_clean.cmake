@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timing_test.dir/sim_timing_test.cpp.o"
+  "CMakeFiles/sim_timing_test.dir/sim_timing_test.cpp.o.d"
+  "sim_timing_test"
+  "sim_timing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spill_fp_test.dir/spill_fp_test.cpp.o"
+  "CMakeFiles/spill_fp_test.dir/spill_fp_test.cpp.o.d"
+  "spill_fp_test"
+  "spill_fp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spill_fp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

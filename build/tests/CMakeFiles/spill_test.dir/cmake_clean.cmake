@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spill_test.dir/spill_test.cpp.o"
+  "CMakeFiles/spill_test.dir/spill_test.cpp.o.d"
+  "spill_test"
+  "spill_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
