@@ -37,7 +37,8 @@ int main() {
       const core::CompiledProgram probe = core::compile(
           wl.program, machine, passes::Scheme::kSced, fused);
       table.addRow(
-          {wl.name, std::to_string(probe.errorDetectionStats.checks),
+          {wl.name,
+           std::to_string(probe.report.stat("error-detection", "checks")),
            std::to_string(iw),
            formatFixed(slowdown(passes::Scheme::kSced, fused), 2),
            formatFixed(slowdown(passes::Scheme::kSced, split), 2),

@@ -52,7 +52,8 @@ int main() {
         core::campaign(bin, campaignOptions);
 
     table.addRow(
-        {mode.name, std::to_string(bin.errorDetectionStats.checks),
+        {mode.name,
+         std::to_string(bin.report.stat("error-detection", "checks")),
          formatFixed(static_cast<double>(run.stats.cycles) /
                          static_cast<double>(noedRun.stats.cycles),
                      2),

@@ -42,7 +42,7 @@ int main() {
                         : mode == 1 ? "on, protected"
                                     : "on, UNPROTECTED";
     table.addRow(
-        {label, std::to_string(bin.lateOptStats.cseReplaced),
+        {label, std::to_string(bin.report.stat("local-cse", "cse-replaced")),
          std::to_string(bin.program.insnCount()),
          formatFixed(static_cast<double>(run.stats.cycles) /
                          static_cast<double>(noedRun.stats.cycles),

@@ -4,8 +4,8 @@
 // original does not — one of the paper's two explanations for the variation
 // in SCED's slowdown.
 #include "bench_util.h"
+#include "dfg/liveness.h"
 #include "ir/builder.h"
-#include "passes/liveness.h"
 
 namespace {
 
@@ -66,8 +66,8 @@ int main() {
     ir::Program duplicated = wl.program;
     passes::applyErrorDetection(duplicated);
     pressure.addRow({wl.name,
-                     std::to_string(passes::maxPressure(wl.program)[0]),
-                     std::to_string(passes::maxPressure(duplicated)[0])});
+                     std::to_string(dfg::maxPressure(wl.program)[0]),
+                     std::to_string(dfg::maxPressure(duplicated)[0])});
   }
   std::printf("%s\n", pressure.render().c_str());
 
@@ -100,7 +100,7 @@ int main() {
           core::compile(wl.program, machine, scheme, withSpill);
       table.addRow(
           {wl.name, schemeName(scheme),
-           std::to_string(spilled.spillStats.spilledRegs),
+           std::to_string(spilled.report.stat("spill", "spilled-regs")),
            formatFixed(static_cast<double>(core::run(plain).stats.cycles) /
                            noedPlain,
                        2),

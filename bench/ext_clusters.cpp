@@ -33,8 +33,8 @@ int main() {
         const double casted =
             static_cast<double>(core::run(bin).stats.cycles) / noed;
         const double offHome =
-            static_cast<double>(bin.assignmentStats.offCluster0) /
-            static_cast<double>(bin.assignmentStats.total);
+            static_cast<double>(bin.report.stat("assignment", "off-cluster0")) /
+            static_cast<double>(bin.report.stat("assignment", "total"));
         table.addRow({wl.name, std::to_string(delay),
                       std::to_string(clusters), formatFixed(casted, 2),
                       formatPercent(offHome)});

@@ -18,6 +18,8 @@ int main() {
 
   const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
   const std::uint32_t trials = benchutil::envU32("CASTED_TRIALS", 300);
+  // Campaign worker threads; the report is bit-identical for any value.
+  const std::uint32_t threads = benchutil::envU32("CASTED_THREADS", 0);
   const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
 
   std::printf("trials per point: %u (paper: 300)\n\n", trials);
@@ -43,6 +45,7 @@ int main() {
           core::compile(wl.program, machine, scheme, pipelineOptions);
       fault::CampaignOptions options;
       options.trials = trials;
+      options.threads = threads;
       options.seed = 0xCA57ED + static_cast<std::uint64_t>(scheme);
       options.originalDefInsns = originalDefInsns;
       const fault::CoverageReport report = core::campaign(bin, options);

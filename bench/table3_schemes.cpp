@@ -41,14 +41,16 @@ int main() {
       const core::CompiledProgram bin = core::compile(
           wl.program, arch::makePaperMachine(iw, delay),
           passes::Scheme::kCasted, options);
-      const passes::AssignmentStats& stats = bin.assignmentStats;
-      const double total = static_cast<double>(stats.total);
-      placement.addRow(
-          {std::to_string(iw), std::to_string(delay),
-           formatPercent(static_cast<double>(stats.offCluster0) / total),
-           formatPercent(static_cast<double>(stats.originalsMoved) / total),
-           formatPercent(static_cast<double>(stats.duplicatesHome) / total),
-           formatPercent(static_cast<double>(stats.checksMoved) / total)});
+      const pm::PipelineReport& report = bin.report;
+      const double total =
+          static_cast<double>(report.stat("assignment", "total"));
+      auto frac = [&](const char* key) {
+        return formatPercent(
+            static_cast<double>(report.stat("assignment", key)) / total);
+      };
+      placement.addRow({std::to_string(iw), std::to_string(delay),
+                        frac("off-cluster0"), frac("originals-moved"),
+                        frac("duplicates-home"), frac("checks-moved")});
     }
   }
   std::printf("%s", placement.render().c_str());

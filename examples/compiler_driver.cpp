@@ -97,6 +97,9 @@ int main(int argc, char** argv) {
   const core::CompiledProgram bin =
       core::compile(program, machine, scheme);
 
+  std::printf("=== pass pipeline ===\n%s\n",
+              bin.report.toString().c_str());
+
   std::printf("=== transformed program (%s on %s) ===\n%s\n",
               schemeName(scheme), machine.toString().c_str(),
               ir::printProgram(bin.program).c_str());

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
         core::compile(wl.program, machine, scheme);
     fault::CampaignOptions options;
     options.trials = trials;
+    options.threads = 0;  // one worker per hardware thread; same counts as 1
     options.originalDefInsns = golden.stats.dynamicDefInsns;
     const fault::CoverageReport report = core::campaign(bin, options);
     table.addRow({schemeName(scheme),

@@ -91,15 +91,16 @@ int main() {
                               static_cast<double>(plain.stats.cycles),
                           2)
                   .c_str());
+  const pm::PipelineReport& report = protectedBin.report;
   std::printf("inserted: %lu duplicates, %lu checks, %lu copies; "
               "%lu instructions moved off cluster 0\n",
               static_cast<unsigned long>(
-                  protectedBin.errorDetectionStats.replicated),
+                  report.stat("error-detection", "replicated")),
               static_cast<unsigned long>(
-                  protectedBin.errorDetectionStats.checks),
+                  report.stat("error-detection", "checks")),
               static_cast<unsigned long>(
-                  protectedBin.errorDetectionStats.copies),
+                  report.stat("error-detection", "copies")),
               static_cast<unsigned long>(
-                  protectedBin.assignmentStats.offCluster0));
+                  report.stat("assignment", "off-cluster0")));
   return 0;
 }

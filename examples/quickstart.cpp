@@ -47,8 +47,8 @@ int main() {
     table.addRow({schemeName(scheme), std::to_string(result.stats.cycles),
                   formatFixed(cycles / noedCycles, 2),
                   formatFixed(bin.codeGrowth(sourceInsns), 2),
-                  std::to_string(bin.errorDetectionStats.checks),
-                  std::to_string(bin.assignmentStats.offCluster0)});
+                  std::to_string(bin.report.stat("error-detection", "checks")),
+                  std::to_string(bin.report.stat("assignment", "off-cluster0"))});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(

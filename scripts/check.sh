@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-shot verification: configure + build + ctest.
+#
+#   scripts/check.sh                # RelWithDebInfo build in build/
+#   scripts/check.sh --sanitize     # ASan+UBSan build in build-asan/
+#
+# Extra arguments after the flag are passed to cmake's configure step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+cmake_args=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  shift
+  build_dir=build-asan
+  cmake_args+=(-DCASTED_SANITIZE=ON)
+fi
+
+# Prefer Ninja, but never fight an existing cache: a build dir configured
+# with another generator (e.g. the README's plain `cmake -B build`) keeps it.
+generator=()
+if command -v ninja >/dev/null 2>&1 && [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  generator=(-G Ninja)
+fi
+
+cmake -B "$build_dir" -S . "${generator[@]}" "${cmake_args[@]}" "$@"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -5,6 +5,26 @@
 
 namespace casted::core {
 
+pm::PassManager buildPipeline(passes::Scheme scheme,
+                              const PipelineOptions& options) {
+  pm::PassManager manager({.verifyAfterEachPass = options.verifyAfterPasses});
+  if (options.runEarlyOptimisations) {
+    manager.emplacePass<passes::EarlyOptsPass>();
+  }
+  if (scheme != passes::Scheme::kNoed) {
+    manager.emplacePass<passes::ErrorDetectionPass>(options.errorDetection);
+  }
+  if (options.modelRegisterPressure) {
+    manager.emplacePass<passes::SpillPass>();
+  }
+  if (options.runLateOptimisations) {
+    manager.emplacePass<passes::LocalCsePass>(options.lateOpts);
+    manager.emplacePass<passes::DcePass>(options.lateOpts);
+  }
+  manager.emplacePass<passes::AssignmentPass>(scheme);
+  return manager;
+}
+
 CompiledProgram compile(const ir::Program& source,
                         const arch::MachineConfig& machine,
                         passes::Scheme scheme,
@@ -19,44 +39,14 @@ CompiledProgram compile(const ir::Program& source,
     ir::verifyOrThrow(compiled.program);
   }
 
-  if (options.runEarlyOptimisations) {
-    compiled.earlyOptStats =
-        passes::applyEarlyOptimisations(compiled.program);
-    if (options.verifyAfterPasses) {
-      ir::verifyOrThrow(compiled.program);
-    }
-  }
-
-  if (scheme != passes::Scheme::kNoed) {
-    compiled.errorDetectionStats = passes::applyErrorDetection(
-        compiled.program, options.errorDetection);
-    if (options.verifyAfterPasses) {
-      ir::verifyOrThrow(compiled.program);
-    }
-  }
-
-  if (options.modelRegisterPressure) {
-    compiled.spillStats = passes::applySpilling(compiled.program, machine);
-    if (options.verifyAfterPasses) {
-      ir::verifyOrThrow(compiled.program);
-    }
-  }
-
-  if (options.runLateOptimisations) {
-    const passes::LateOptStats cse =
-        passes::applyLocalCse(compiled.program, options.lateOpts);
-    const passes::LateOptStats dce =
-        passes::applyDce(compiled.program, options.lateOpts);
-    compiled.lateOptStats.cseReplaced = cse.cseReplaced;
-    compiled.lateOptStats.dceRemoved = dce.dceRemoved;
-    if (options.verifyAfterPasses) {
-      ir::verifyOrThrow(compiled.program);
-    }
-  }
-
-  compiled.assignmentStats =
-      passes::assignClusters(compiled.program, machine, scheme);
-  compiled.schedule = sched::scheduleProgram(compiled.program, machine);
+  const pm::PassManager manager = buildPipeline(scheme, options);
+  pm::AnalysisManager am(machine);
+  compiled.report = manager.run(compiled.program, am);
+  // The scheduler walks the same block DFGs the assignment pass used (it
+  // preserves them: only `cluster` fields changed).
+  compiled.schedule = sched::scheduleProgram(compiled.program, machine, &am);
+  compiled.report.analysisHits = am.hits();
+  compiled.report.analysisMisses = am.misses();
   return compiled;
 }
 

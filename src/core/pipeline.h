@@ -1,15 +1,20 @@
 // casted::core — the library's top-level API.
 //
-// Mirrors the paper's tool flow (Fig. 5): take a program, run the error-
-// detection pass (Algorithm 1), run the cluster-assignment pass (fixed
-// SCED/DCED placement or BUG, Algorithm 2), schedule for the clustered VLIW,
-// and hand the result to the simulator or the fault-injection campaign.
+// Mirrors the paper's tool flow (Fig. 5) as a declarative pm::PassManager
+// pipeline: early optimisations, the error-detection pass (Algorithm 1),
+// optional register-pressure spilling, late CSE/DCE, cluster assignment
+// (fixed SCED/DCED placement or BUG, Algorithm 2) — then VLIW scheduling
+// over the analysis manager's cached block DFGs, and on to the simulator or
+// the (optionally multi-threaded) fault-injection campaign.
 //
 //   auto machine = arch::makePaperMachine(/*issueWidth=*/2, /*delay=*/1);
 //   core::CompiledProgram bin =
 //       core::compile(program, machine, passes::Scheme::kCasted);
+//   bin.report.toString();            // per-pass time / Δinsns / stats
+//   bin.report.stat("error-detection", "checks");
 //   sim::RunResult r = core::run(bin);
-//   fault::CoverageReport cov = core::campaign(bin, {.trials = 300});
+//   fault::CoverageReport cov =
+//       core::campaign(bin, {.trials = 300, .threads = 8});
 #pragma once
 
 #include "arch/machine_config.h"
@@ -19,8 +24,9 @@
 #include "passes/early_opts.h"
 #include "passes/error_detection.h"
 #include "passes/late_opts.h"
-#include "passes/spill.h"
 #include "passes/scheme.h"
+#include "passes/spill.h"
+#include "pm/pass_manager.h"
 #include "sched/schedule.h"
 #include "sim/simulator.h"
 
@@ -38,7 +44,7 @@ struct PipelineOptions {
   // paper needed this.
   bool runLateOptimisations = true;
   passes::LateOptOptions lateOpts;
-  // Model per-cluster register-file capacity by spilling (DESIGN.md §6 and
+  // Model per-cluster register-file capacity by spilling (DESIGN.md §7 and
   // paper §IV-B1): off by default — the main experiments keep virtual
   // registers, `ablation_spill` turns this on.
   bool modelRegisterPressure = false;
@@ -53,11 +59,11 @@ struct CompiledProgram {
   sched::ProgramSchedule schedule;
   passes::Scheme scheme = passes::Scheme::kNoed;
   arch::MachineConfig machine;
-  passes::ErrorDetectionStats errorDetectionStats;
-  passes::AssignmentStats assignmentStats;
-  passes::LateOptStats lateOptStats;
-  passes::SpillStats spillStats;
-  passes::EarlyOptStats earlyOptStats;
+  // Per-pass instrumentation: wall time, instruction deltas, and each
+  // pass's counters as key/value stats (e.g.
+  // report.stat("error-detection", "checks")).  Passes that did not run
+  // report 0 for every key.
+  pm::PipelineReport report;
 
   // Static code growth vs `sourceInsns` (the paper reports ~2.4x).
   double codeGrowth(std::size_t sourceInsns) const {
@@ -67,6 +73,13 @@ struct CompiledProgram {
                      static_cast<double>(sourceInsns);
   }
 };
+
+// Builds the pass pipeline `compile` runs for (scheme, options): early opts,
+// error detection (skipped for NOED), spilling (if modelled), local CSE +
+// DCE, cluster assignment.  Exposed so tests and tools can inspect or rerun
+// the exact pipeline.
+pm::PassManager buildPipeline(passes::Scheme scheme,
+                              const PipelineOptions& options = {});
 
 // Compiles `source` for `machine` under `scheme`.  The source program is not
 // modified.

@@ -1,0 +1,95 @@
+#include "dfg/liveness.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace casted::dfg {
+
+LivenessInfo computeLiveness(const ir::Function& fn) {
+  const std::size_t blocks = fn.blockCount();
+  LivenessInfo info;
+  info.liveIn.resize(blocks);
+  info.liveOut.resize(blocks);
+
+  // Per-block use (upward-exposed) and def sets.
+  std::vector<std::unordered_set<ir::Reg>> uses(blocks);
+  std::vector<std::unordered_set<ir::Reg>> defs(blocks);
+  for (ir::BlockId b = 0; b < blocks; ++b) {
+    for (const ir::Instruction& insn : fn.block(b).insns()) {
+      for (const ir::Reg& use : insn.uses) {
+        if (!defs[b].contains(use)) {
+          uses[b].insert(use);
+        }
+      }
+      for (const ir::Reg& def : insn.defs) {
+        defs[b].insert(def);
+      }
+    }
+  }
+
+  // Backward fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::BlockId b = blocks; b-- > 0;) {
+      std::unordered_set<ir::Reg> out;
+      for (ir::BlockId succ : fn.block(b).successors()) {
+        for (const ir::Reg& reg : info.liveIn[succ]) {
+          out.insert(reg);
+        }
+      }
+      std::unordered_set<ir::Reg> in = uses[b];
+      for (const ir::Reg& reg : out) {
+        if (!defs[b].contains(reg)) {
+          in.insert(reg);
+        }
+      }
+      if (out != info.liveOut[b] || in != info.liveIn[b]) {
+        info.liveOut[b] = std::move(out);
+        info.liveIn[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // Pressure: walk each block backwards from live-out.
+  for (ir::BlockId b = 0; b < blocks; ++b) {
+    std::unordered_set<ir::Reg> live = info.liveOut[b];
+    auto recordPressure = [&] {
+      std::array<std::uint32_t, 3> counts = {0, 0, 0};
+      for (const ir::Reg& reg : live) {
+        ++counts[static_cast<int>(reg.cls)];
+      }
+      for (int c = 0; c < 3; ++c) {
+        info.maxPressure[c] = std::max(info.maxPressure[c], counts[c]);
+      }
+    };
+    recordPressure();
+    const auto& insns = fn.block(b).insns();
+    for (std::size_t i = insns.size(); i-- > 0;) {
+      const ir::Instruction& insn = insns[i];
+      for (const ir::Reg& def : insn.defs) {
+        live.erase(def);
+      }
+      for (const ir::Reg& use : insn.uses) {
+        live.insert(use);
+      }
+      recordPressure();
+    }
+  }
+  return info;
+}
+
+std::array<std::uint32_t, 3> maxPressure(const ir::Program& program) {
+  std::array<std::uint32_t, 3> worst = {0, 0, 0};
+  for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
+    const LivenessInfo info = computeLiveness(program.function(f));
+    for (int c = 0; c < 3; ++c) {
+      worst[c] = std::max(worst[c], info.maxPressure[c]);
+    }
+  }
+  return worst;
+}
+
+}  // namespace casted::dfg

@@ -1,6 +1,10 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
 
 #include "support/check.h"
 
@@ -96,6 +100,31 @@ sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
   return plan;
 }
 
+namespace {
+
+// Executes one trial.  All randomness derives from (seed, trialIndex), so a
+// trial's outcome is independent of which worker runs it and in what order —
+// the property that makes the parallel campaign bit-identical to the serial
+// one.
+Outcome runTrial(const ir::Program& program,
+                 const sched::ProgramSchedule& schedule,
+                 const arch::MachineConfig& config,
+                 const CampaignOptions& options, const GoldenProfile& golden,
+                 std::uint32_t trialIndex) {
+  Rng trialRng(options.seed ^ static_cast<std::uint64_t>(trialIndex));
+  const sim::FaultPlan plan =
+      makeTrialPlan(trialRng, golden.defInsns, options.originalDefInsns);
+
+  sim::SimOptions simOptions = options.simOptions;
+  simOptions.faultPlan = &plan;
+  simOptions.maxCycles = golden.cycles * options.timeoutFactor;
+  const sim::RunResult faulty =
+      sim::simulate(program, schedule, config, simOptions);
+  return classify(faulty, golden);
+}
+
+}  // namespace
+
 CoverageReport runCampaign(const ir::Program& program,
                            const sched::ProgramSchedule& schedule,
                            const arch::MachineConfig& config,
@@ -103,22 +132,61 @@ CoverageReport runCampaign(const ir::Program& program,
   const GoldenProfile golden =
       profileGolden(program, schedule, config, options.simOptions);
 
-  CoverageReport report;
-  Rng rng(options.seed);
-  for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
-    Rng trialRng = rng.fork();
-    const sim::FaultPlan plan = makeTrialPlan(
-        trialRng, golden.defInsns, options.originalDefInsns);
-
-    sim::SimOptions simOptions = options.simOptions;
-    simOptions.faultPlan = &plan;
-    simOptions.maxCycles = golden.cycles * options.timeoutFactor;
-    const sim::RunResult faulty =
-        sim::simulate(program, schedule, config, simOptions);
-
-    ++report.counts[static_cast<int>(classify(faulty, golden))];
-    ++report.trials;
+  std::uint32_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  threads = std::min(threads, std::max(options.trials, 1u));
+
+  CoverageReport report;
+  if (threads <= 1) {
+    for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
+      ++report.counts[static_cast<int>(
+          runTrial(program, schedule, config, options, golden, trial))];
+    }
+    report.trials = options.trials;
+    return report;
+  }
+
+  // Work-stealing over a shared trial counter; each worker tallies into its
+  // own CoverageReport (outcome counts commute, so the merged report does
+  // not depend on which worker ran which trial).
+  std::atomic<std::uint32_t> nextTrial{0};
+  std::vector<CoverageReport> partial(threads);
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        while (true) {
+          const std::uint32_t trial =
+              nextTrial.fetch_add(1, std::memory_order_relaxed);
+          if (trial >= options.trials) {
+            break;
+          }
+          ++partial[w].counts[static_cast<int>(
+              runTrial(program, schedule, config, options, golden, trial))];
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+  for (const CoverageReport& part : partial) {
+    for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+      report.counts[i] += part.counts[i];
+    }
+  }
+  report.trials = options.trials;
   return report;
 }
 

@@ -53,6 +53,10 @@ struct CoverageReport {
 struct CampaignOptions {
   std::uint32_t trials = 300;  // the paper's Monte Carlo repetition count
   std::uint64_t seed = 0xCA57EDu;
+  // Worker threads for the trial loop.  0 = one per hardware thread.  Each
+  // trial seeds its own RNG from `seed ^ trialIndex`, so the CoverageReport
+  // is bit-identical for every thread count (and to the serial run).
+  std::uint32_t threads = 1;
   // Dynamic def-producing instruction count of the ORIGINAL (NOED) binary;
   // sets the fixed error rate.  0 means "use the injected binary's own
   // count" (exactly one expected error per run).
@@ -85,7 +89,9 @@ Outcome classify(const sim::RunResult& faulty, const GoldenProfile& golden);
 sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
                              std::uint64_t originalDefInsns);
 
-// Runs the full campaign.
+// Runs the full campaign.  Trials execute on a pool of `options.threads`
+// workers; every trial's randomness depends only on (seed, trialIndex), so
+// the report is deterministic regardless of thread count or interleaving.
 CoverageReport runCampaign(const ir::Program& program,
                            const sched::ProgramSchedule& schedule,
                            const arch::MachineConfig& config,

@@ -40,10 +40,13 @@ void tallyAssignment(const Instruction& insn, AssignmentStats& stats) {
 // Algorithm 2 on one block.
 class BugAssigner {
  public:
-  BugAssigner(BasicBlock& block, const arch::MachineConfig& config)
+  // `graph` must be the DFG of `block` under `config`; it is typically the
+  // AnalysisManager's cached copy, shared with the list scheduler.
+  BugAssigner(BasicBlock& block, const arch::MachineConfig& config,
+              const dfg::DataFlowGraph& graph)
       : block_(block),
         config_(config),
-        graph_(block, config),
+        graph_(graph),
         table_(config),
         issueCycle_(graph_.size(), 0),
         clusterOf_(graph_.size(), 0),
@@ -211,7 +214,7 @@ class BugAssigner {
 
   BasicBlock& block_;
   const arch::MachineConfig& config_;
-  dfg::DataFlowGraph graph_;
+  const dfg::DataFlowGraph& graph_;
   sched::ReservationTable table_;
   std::vector<std::uint32_t> issueCycle_;
   std::vector<std::uint32_t> clusterOf_;
@@ -222,7 +225,7 @@ class BugAssigner {
 
 AssignmentStats assignClusters(ir::Program& program,
                                const arch::MachineConfig& config,
-                               Scheme scheme) {
+                               Scheme scheme, pm::AnalysisManager* am) {
   config.validate();
   if (scheme == Scheme::kDced) {
     CASTED_CHECK(config.clusterCount >= 2)
@@ -245,9 +248,15 @@ AssignmentStats assignClusters(ir::Program& program,
             insn.cluster = isRedundantCode(insn) ? 1 : 0;
           }
           break;
-        case Scheme::kCasted:
-          BugAssigner(block, config).run();
+        case Scheme::kCasted: {
+          if (am != nullptr) {
+            BugAssigner(block, config, am->dataFlowGraph(fn, b)).run();
+          } else {
+            const dfg::DataFlowGraph graph(block, config);
+            BugAssigner(block, config, graph).run();
+          }
           break;
+        }
       }
       for (const Instruction& insn : block.insns()) {
         tallyAssignment(insn, stats);
@@ -255,6 +264,22 @@ AssignmentStats assignClusters(ir::Program& program,
     }
   }
   return stats;
+}
+
+pm::PassResult AssignmentPass::run(ir::Program& program,
+                                   pm::AnalysisManager& am) {
+  const AssignmentStats stats =
+      assignClusters(program, am.config(), scheme_, &am);
+  pm::PassResult result;
+  // Only `Instruction::cluster` changes, which neither the DFG nor liveness
+  // reads — the graphs BUG just walked stay valid for the scheduler.
+  result.preserved = pm::Preserved::kAll;
+  result.add("total", stats.total);
+  result.add("off-cluster0", stats.offCluster0);
+  result.add("originals-moved", stats.originalsMoved);
+  result.add("duplicates-home", stats.duplicatesHome);
+  result.add("checks-moved", stats.checksMoved);
+  return result;
 }
 
 }  // namespace casted::passes

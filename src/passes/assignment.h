@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "arch/machine_config.h"
 #include "ir/function.h"
 #include "passes/scheme.h"
+#include "pm/pass.h"
 
 namespace casted::passes {
 
@@ -31,9 +33,27 @@ struct AssignmentStats {
 };
 
 // Assigns every instruction's `cluster` field according to `scheme`.
-// NOED and SCED use only cluster 0; DCED requires >= 2 clusters.
+// NOED and SCED use only cluster 0; DCED requires >= 2 clusters.  With `am`,
+// BUG walks the manager's cached block DFGs instead of rebuilding them —
+// and since assignment only writes `Instruction::cluster` (which no
+// analysis reads), those same graphs stay valid for the list scheduler.
 AssignmentStats assignClusters(ir::Program& program,
                                const arch::MachineConfig& config,
-                               Scheme scheme);
+                               Scheme scheme,
+                               pm::AnalysisManager* am = nullptr);
+
+// pm adapter; the machine comes from the AnalysisManager's config.  Stats:
+// "total", "off-cluster0", "originals-moved", "duplicates-home",
+// "checks-moved".
+class AssignmentPass final : public pm::Pass {
+ public:
+  explicit AssignmentPass(Scheme scheme) : scheme_(scheme) {}
+
+  std::string_view name() const override { return "assignment"; }
+  pm::PassResult run(ir::Program& program, pm::AnalysisManager& am) override;
+
+ private:
+  Scheme scheme_;
+};
 
 }  // namespace casted::passes

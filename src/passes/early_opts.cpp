@@ -253,4 +253,17 @@ EarlyOptStats applyEarlyOptimisations(ir::Program& program) {
   return total;
 }
 
+pm::PassResult EarlyOptsPass::run(ir::Program& program,
+                                  pm::AnalysisManager& am) {
+  (void)am;
+  const EarlyOptStats stats = applyEarlyOptimisations(program);
+  pm::PassResult result;
+  result.preserved = stats.foldedConstants + stats.propagatedCopies == 0
+                         ? pm::Preserved::kAll
+                         : pm::Preserved::kNone;
+  result.add("folded-constants", stats.foldedConstants);
+  result.add("propagated-copies", stats.propagatedCopies);
+  return result;
+}
+
 }  // namespace casted::passes

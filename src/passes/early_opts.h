@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "ir/function.h"
+#include "pm/pass.h"
 
 namespace casted::passes {
 
@@ -32,5 +34,12 @@ EarlyOptStats applyCopyPropagation(ir::Program& program);
 
 // Convenience: folding + propagation + folding again.
 EarlyOptStats applyEarlyOptimisations(ir::Program& program);
+
+// pm adapter.  Stats: "folded-constants", "propagated-copies".
+class EarlyOptsPass final : public pm::Pass {
+ public:
+  std::string_view name() const override { return "early-opts"; }
+  pm::PassResult run(ir::Program& program, pm::AnalysisManager& am) override;
+};
 
 }  // namespace casted::passes

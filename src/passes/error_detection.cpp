@@ -283,4 +283,18 @@ ErrorDetectionStats applyErrorDetection(ir::Program& program,
   return stats;
 }
 
+pm::PassResult ErrorDetectionPass::run(ir::Program& program,
+                                       pm::AnalysisManager& am) {
+  (void)am;
+  const ErrorDetectionStats stats = applyErrorDetection(program, options_);
+  pm::PassResult result;
+  result.preserved = stats.totalInserted() == 0 ? pm::Preserved::kAll
+                                                : pm::Preserved::kNone;
+  result.add("replicated", stats.replicated);
+  result.add("checks", stats.checks);
+  result.add("copies", stats.copies);
+  result.add("skipped-unprotected", stats.skippedUnprotected);
+  return result;
+}
+
 }  // namespace casted::passes

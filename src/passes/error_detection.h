@@ -21,8 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "ir/function.h"
+#include "pm/pass.h"
 
 namespace casted::passes {
 
@@ -57,5 +59,19 @@ struct ErrorDetectionStats {
 // Applies Algorithm 1 to every protected function of `program`.
 ErrorDetectionStats applyErrorDetection(
     ir::Program& program, const ErrorDetectionOptions& options = {});
+
+// pm adapter.  Stats: "replicated", "checks", "copies",
+// "skipped-unprotected".
+class ErrorDetectionPass final : public pm::Pass {
+ public:
+  explicit ErrorDetectionPass(ErrorDetectionOptions options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "error-detection"; }
+  pm::PassResult run(ir::Program& program, pm::AnalysisManager& am) override;
+
+ private:
+  ErrorDetectionOptions options_;
+};
 
 }  // namespace casted::passes

@@ -4,7 +4,7 @@
 #include <tuple>
 #include <unordered_map>
 
-#include "passes/liveness.h"
+#include "dfg/liveness.h"
 #include "support/check.h"
 
 namespace casted::passes {
@@ -168,14 +168,21 @@ LateOptStats applyLocalCse(ir::Program& program,
   return stats;
 }
 
-LateOptStats applyDce(ir::Program& program, const LateOptOptions& options) {
+LateOptStats applyDce(ir::Program& program, const LateOptOptions& options,
+                      pm::AnalysisManager* am) {
   LateOptStats stats;
   for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
     ir::Function& fn = program.function(f);
     bool changed = true;
     while (changed) {
       changed = false;
-      const LivenessInfo liveness = computeLiveness(fn);
+      // With a manager, the first iteration's liveness can come from the
+      // cache; after any deletion the function is invalidated below, so a
+      // subsequent request recomputes.
+      dfg::LivenessInfo computed;
+      const dfg::LivenessInfo& liveness =
+          am != nullptr ? am->liveness(fn)
+                        : (computed = dfg::computeLiveness(fn), computed);
       for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
         auto& insns = fn.block(b).insns();
         // Backward walk with a running live set so within-block deadness is
@@ -216,9 +223,33 @@ LateOptStats applyDce(ir::Program& program, const LateOptOptions& options) {
           insns = std::move(rebuilt);
         }
       }
+      if (changed && am != nullptr) {
+        am->invalidateFunction(fn);
+      }
     }
   }
   return stats;
+}
+
+pm::PassResult LocalCsePass::run(ir::Program& program,
+                                 pm::AnalysisManager& am) {
+  (void)am;
+  const LateOptStats stats = applyLocalCse(program, options_);
+  pm::PassResult result;
+  result.preserved = stats.cseReplaced == 0 ? pm::Preserved::kAll
+                                            : pm::Preserved::kNone;
+  result.add("cse-replaced", stats.cseReplaced);
+  return result;
+}
+
+pm::PassResult DcePass::run(ir::Program& program, pm::AnalysisManager& am) {
+  const LateOptStats stats = applyDce(program, options_, &am);
+  pm::PassResult result;
+  // applyDce already invalidated the functions it rewrote, so the caches
+  // that remain are exactly the still-valid ones.
+  result.preserved = pm::Preserved::kAll;
+  result.add("dce-removed", stats.dceRemoved);
+  return result;
 }
 
 }  // namespace casted::passes

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "ir/function.h"
+#include "pm/pass.h"
 
 namespace casted::passes {
 
@@ -35,7 +37,34 @@ LateOptStats applyLocalCse(ir::Program& program,
 
 // Dead-code elimination: deletes side-effect-free instructions whose results
 // are dead (liveness-based, iterated to a fixpoint).  Trapping instructions
-// (div/rem, loads, f2i) are conservatively kept.
-LateOptStats applyDce(ir::Program& program, const LateOptOptions& options = {});
+// (div/rem, loads, f2i) are conservatively kept.  With `am`, the first
+// liveness per function comes from the cache (and the cache is invalidated
+// whenever instructions are deleted).
+LateOptStats applyDce(ir::Program& program, const LateOptOptions& options = {},
+                      pm::AnalysisManager* am = nullptr);
+
+// pm adapter for CSE.  Stats: "cse-replaced".
+class LocalCsePass final : public pm::Pass {
+ public:
+  explicit LocalCsePass(LateOptOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "local-cse"; }
+  pm::PassResult run(ir::Program& program, pm::AnalysisManager& am) override;
+
+ private:
+  LateOptOptions options_;
+};
+
+// pm adapter for DCE.  Stats: "dce-removed".
+class DcePass final : public pm::Pass {
+ public:
+  explicit DcePass(LateOptOptions options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "dce"; }
+  pm::PassResult run(ir::Program& program, pm::AnalysisManager& am) override;
+
+ private:
+  LateOptOptions options_;
+};
 
 }  // namespace casted::passes

@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "passes/liveness.h"
+#include "dfg/liveness.h"
 #include "support/check.h"
 
 namespace casted::passes {
@@ -27,12 +27,16 @@ class FunctionSpiller {
  public:
   FunctionSpiller(Program& program, Function& fn,
                   const arch::RegisterFileConfig& capacity,
-                  SpillStats& stats)
-      : program_(program), fn_(fn), capacity_(capacity), stats_(stats) {}
+                  SpillStats& stats, pm::AnalysisManager* am)
+      : program_(program), fn_(fn), capacity_(capacity), stats_(stats),
+        am_(am) {}
 
   void run() {
     for (int round = 0; round < 128; ++round) {
-      const LivenessInfo liveness = computeLiveness(fn_);
+      dfg::LivenessInfo computed;
+      const dfg::LivenessInfo& liveness =
+          am_ != nullptr ? am_->liveness(fn_)
+                         : (computed = dfg::computeLiveness(fn_), computed);
       RegClass cls;
       if (liveness.maxPressure[static_cast<int>(RegClass::kGp)] >
           capacity_.gp) {
@@ -55,6 +59,9 @@ class FunctionSpiller {
         return;  // nothing spillable left
       }
       spill(victim);
+      if (am_ != nullptr) {
+        am_->invalidateFunction(fn_);  // spill code changed the IR
+      }
     }
   }
 
@@ -201,6 +208,7 @@ class FunctionSpiller {
   Function& fn_;
   const arch::RegisterFileConfig& capacity_;
   SpillStats& stats_;
+  pm::AnalysisManager* am_;
   Reg spillBase_;
   std::uint32_t nextSlot_ = 0;
   std::unordered_set<Reg> noSpill_;
@@ -209,13 +217,28 @@ class FunctionSpiller {
 }  // namespace
 
 SpillStats applySpilling(ir::Program& program,
-                         const arch::MachineConfig& config) {
+                         const arch::MachineConfig& config,
+                         pm::AnalysisManager* am) {
   SpillStats stats;
   for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
-    FunctionSpiller(program, program.function(f), config.registerFile, stats)
+    FunctionSpiller(program, program.function(f), config.registerFile, stats,
+                    am)
         .run();
   }
   return stats;
+}
+
+pm::PassResult SpillPass::run(ir::Program& program, pm::AnalysisManager& am) {
+  const SpillStats stats = applySpilling(program, am.config(), &am);
+  pm::PassResult result;
+  // applySpilling invalidates every function it rewrites as it goes, so the
+  // remaining caches are exactly the untouched functions'.
+  result.preserved = pm::Preserved::kAll;
+  result.add("spilled-regs", stats.spilledRegs);
+  result.add("spill-stores", stats.spillStores);
+  result.add("spill-reloads", stats.spillReloads);
+  result.add("residual-pr-pressure", stats.residualPrPressure);
+  return result;
 }
 
 }  // namespace casted::passes

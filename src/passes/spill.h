@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "arch/machine_config.h"
 #include "ir/function.h"
+#include "pm/pass.h"
 
 namespace casted::passes {
 
@@ -32,8 +34,19 @@ struct SpillStats {
 };
 
 // Spills until GP/FP pressure fits `config.registerFile` in every function.
-// Allocates one "spill$<function>" global per spilling function.
+// Allocates one "spill$<function>" global per spilling function.  With `am`,
+// the pressure check reads the manager's cached liveness (invalidated per
+// function whenever spill code is inserted).
 SpillStats applySpilling(ir::Program& program,
-                         const arch::MachineConfig& config);
+                         const arch::MachineConfig& config,
+                         pm::AnalysisManager* am = nullptr);
+
+// pm adapter; the machine comes from the AnalysisManager's config.  Stats:
+// "spilled-regs", "spill-stores", "spill-reloads", "residual-pr-pressure".
+class SpillPass final : public pm::Pass {
+ public:
+  std::string_view name() const override { return "spill"; }
+  pm::PassResult run(ir::Program& program, pm::AnalysisManager& am) override;
+};
 
 }  // namespace casted::passes

@@ -1,0 +1,50 @@
+#include "pm/analysis_manager.h"
+
+#include "support/check.h"
+
+namespace casted::pm {
+
+const dfg::DataFlowGraph& AnalysisManager::dataFlowGraph(
+    const ir::Function& fn, ir::BlockId block) {
+  CASTED_CHECK(block < fn.blockCount())
+      << "no block " << block << " in @" << fn.name();
+  FunctionAnalyses& entry = cache_[fn.id()];
+  if (entry.dfgs.size() < fn.blockCount()) {
+    entry.dfgs.resize(fn.blockCount());
+  }
+  std::unique_ptr<dfg::DataFlowGraph>& slot = entry.dfgs[block];
+  if (slot == nullptr) {
+    ++misses_;
+    slot = std::make_unique<dfg::DataFlowGraph>(fn.block(block), config_);
+  } else {
+    ++hits_;
+  }
+  return *slot;
+}
+
+const dfg::LivenessInfo& AnalysisManager::liveness(const ir::Function& fn) {
+  FunctionAnalyses& entry = cache_[fn.id()];
+  if (entry.liveness == nullptr) {
+    ++misses_;
+    entry.liveness =
+        std::make_unique<dfg::LivenessInfo>(dfg::computeLiveness(fn));
+  } else {
+    ++hits_;
+  }
+  return *entry.liveness;
+}
+
+void AnalysisManager::invalidateFunction(const ir::Function& fn) {
+  if (cache_.erase(fn.id()) > 0) {
+    ++invalidations_;
+  }
+}
+
+void AnalysisManager::invalidateAll() {
+  if (!cache_.empty()) {
+    ++invalidations_;
+    cache_.clear();
+  }
+}
+
+}  // namespace casted::pm

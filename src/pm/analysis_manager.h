@@ -1,0 +1,79 @@
+// AnalysisManager — lazily computed, cached IR analyses.
+//
+// Every pass used to rebuild the per-block DataFlowGraph and the per-function
+// liveness from scratch; on the big sweep benches (fig6-10, the design-space
+// explorer) that rebuild dominated compile time.  The manager computes each
+// analysis on first request, hands out const references, and keeps them until
+// a pass reports that it mutated the IR (pm::Preserved::kNone), at which
+// point the affected caches are dropped.
+//
+// The flagship reuse: BUG (Algorithm 2) walks the block DFGs to place
+// instructions, and the list scheduler walks the *same* DFGs right after —
+// cluster assignment only writes `Instruction::cluster`, which no analysis
+// reads, so the scheduler gets every graph for free.
+//
+// Cached analyses reference the function's instruction storage directly, so
+// they must be invalidated (or the manager discarded) before the analysed
+// program is destroyed, moved, or structurally mutated outside the pass
+// manager's knowledge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/machine_config.h"
+#include "dfg/dfg.h"
+#include "dfg/liveness.h"
+#include "ir/function.h"
+
+namespace casted::pm {
+
+class AnalysisManager {
+ public:
+  // The config is copied: managers routinely outlive the expression that
+  // configured them, and a dangling reference here is invisible until the
+  // first cache miss.
+  explicit AnalysisManager(const arch::MachineConfig& config)
+      : config_(config) {}
+
+  AnalysisManager(const AnalysisManager&) = delete;
+  AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  const arch::MachineConfig& config() const { return config_; }
+
+  // Per-block data-flow graph of `fn` (built with the manager's machine
+  // config).  The reference stays valid until the function is invalidated.
+  const dfg::DataFlowGraph& dataFlowGraph(const ir::Function& fn,
+                                          ir::BlockId block);
+
+  // Per-function liveness (live-in/out sets + register pressure).
+  const dfg::LivenessInfo& liveness(const ir::Function& fn);
+
+  // Drops every cached analysis for `fn` (a pass mutated just this one).
+  void invalidateFunction(const ir::Function& fn);
+
+  // Drops everything (a pass mutated the IR without finer-grained tracking).
+  void invalidateAll();
+
+  // Cache counters, surfaced in pm::PipelineReport.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct FunctionAnalyses {
+    // Indexed by block id; null until requested.
+    std::vector<std::unique_ptr<dfg::DataFlowGraph>> dfgs;
+    std::unique_ptr<dfg::LivenessInfo> liveness;
+  };
+
+  arch::MachineConfig config_;
+  std::unordered_map<ir::FuncId, FunctionAnalyses> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace casted::pm

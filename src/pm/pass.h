@@ -1,0 +1,59 @@
+// The Pass interface of the casted::pm layer.
+//
+// A Pass is one stage of the paper's tool flow (Fig. 5) — error detection,
+// cluster assignment, an optimisation — wrapped behind a uniform surface the
+// PassManager can order, time, verify and instrument.  Passes run at module
+// scope (`ir::Program&`): several of them allocate globals (the spill arena)
+// or keep cross-function totals, so a per-function interface would need a
+// side channel anyway.  Analyses are still cached per *function* inside the
+// AnalysisManager, which is where the granularity matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ir/function.h"
+#include "pm/analysis_manager.h"
+
+namespace casted::pm {
+
+// What a pass's run() left intact.  kAll keeps every cached analysis (the
+// pass did not mutate anything an analysis reads — e.g. cluster assignment
+// only writes `Instruction::cluster`); kNone drops the caches.
+enum class Preserved : std::uint8_t {
+  kAll,
+  kNone,
+};
+
+// Outcome of one Pass::run(): the preserved-analyses declaration plus the
+// pass's own counters as generic key/value stats.  The keys become columns
+// of the pm::PipelineReport, replacing the per-pass `*Stats` structs that
+// used to be baked into core::CompiledProgram.
+struct PassResult {
+  Preserved preserved = Preserved::kNone;
+  std::vector<std::pair<std::string, std::uint64_t>> stats;
+
+  void add(std::string key, std::uint64_t value) {
+    stats.emplace_back(std::move(key), value);
+  }
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  // Stable identifier, used for report lookup (PipelineReport::stat) and
+  // the pipeline-ordering tests.  Lower-case, dash-separated.
+  virtual std::string_view name() const = 0;
+
+  // Transforms `program`; may consume cached analyses through `am`.  A pass
+  // that mutates the IR must also invalidate the touched functions in `am`
+  // if it reads analyses *after* mutating (the PassManager only invalidates
+  // between passes, based on the returned Preserved).
+  virtual PassResult run(ir::Program& program, AnalysisManager& am) = 0;
+};
+
+}  // namespace casted::pm

@@ -1,0 +1,46 @@
+#include "pm/pass_manager.h"
+
+#include <chrono>
+
+#include "ir/verifier.h"
+
+namespace casted::pm {
+
+PipelineReport PassManager::run(ir::Program& program,
+                                AnalysisManager& am) const {
+  PipelineReport report;
+  report.sourceInsns = program.insnCount();
+
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    const std::size_t before = program.insnCount();
+    const auto start = std::chrono::steady_clock::now();
+    PassResult result = pass->run(program, am);
+    const auto end = std::chrono::steady_clock::now();
+
+    if (result.preserved == Preserved::kNone) {
+      am.invalidateAll();
+    }
+
+    PassReport entry;
+    entry.pass = std::string(pass->name());
+    entry.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    entry.insnsAfter = program.insnCount();
+    entry.insnDelta = static_cast<std::int64_t>(entry.insnsAfter) -
+                      static_cast<std::int64_t>(before);
+    entry.preservedAnalyses = result.preserved == Preserved::kAll;
+    entry.stats = std::move(result.stats);
+    if (options_.verifyAfterEachPass) {
+      ir::verifyOrThrow(program);
+      entry.verified = true;
+    }
+    report.passes.push_back(std::move(entry));
+  }
+
+  report.finalInsns = program.insnCount();
+  report.analysisHits = am.hits();
+  report.analysisMisses = am.misses();
+  return report;
+}
+
+}  // namespace casted::pm

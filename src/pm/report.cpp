@@ -1,0 +1,78 @@
+#include "pm/report.h"
+
+#include <cstdio>
+
+#include "support/table.h"
+
+namespace casted::pm {
+
+std::uint64_t PassReport::stat(std::string_view key) const {
+  for (const auto& [name, value] : stats) {
+    if (name == key) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+const PassReport* PipelineReport::find(std::string_view name) const {
+  for (const PassReport& report : passes) {
+    if (report.pass == name) {
+      return &report;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t PipelineReport::stat(std::string_view name,
+                                   std::string_view key) const {
+  const PassReport* report = find(name);
+  return report == nullptr ? 0 : report->stat(key);
+}
+
+double PipelineReport::totalMillis() const {
+  double total = 0.0;
+  for (const PassReport& report : passes) {
+    total += report.millis;
+  }
+  return total;
+}
+
+std::int64_t PipelineReport::totalInsnDelta() const {
+  std::int64_t total = 0;
+  for (const PassReport& report : passes) {
+    total += report.insnDelta;
+  }
+  return total;
+}
+
+std::string PipelineReport::toString() const {
+  TextTable table({"pass", "ms", "Δinsns", "insns", "preserved", "stats"});
+  for (const PassReport& report : passes) {
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.3f", report.millis);
+    std::string stats;
+    for (const auto& [key, value] : report.stats) {
+      if (!stats.empty()) {
+        stats += "  ";
+      }
+      stats += key + "=" + std::to_string(value);
+    }
+    table.addRow({report.pass, ms,
+                  (report.insnDelta >= 0 ? "+" : "") +
+                      std::to_string(report.insnDelta),
+                  std::to_string(report.insnsAfter),
+                  report.preservedAnalyses ? "yes" : "no", stats});
+  }
+  std::string out = table.render();
+  out += "total: " + std::to_string(sourceInsns) + " -> " +
+         std::to_string(finalInsns) + " insns";
+  char total[64];
+  std::snprintf(total, sizeof(total), " in %.3f ms; ", totalMillis());
+  out += total;
+  out += "analysis cache " + std::to_string(analysisHits) + " hits / " +
+         std::to_string(analysisMisses) + " misses\n";
+  return out;
+}
+
+}  // namespace casted::pm

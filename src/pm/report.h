@@ -1,0 +1,62 @@
+// PipelineReport — per-pass instrumentation for one compile.
+//
+// One PassReport per executed pass: wall time, instruction-count delta, the
+// pass's key/value stats, and whether it preserved the cached analyses.
+// This single structure replaces the five hard-coded `*Stats` members the
+// old core::CompiledProgram carried; callers look values up by
+// (pass name, key) and get 0 for passes that did not run — which keeps
+// "NOED has no checks"-style queries branch-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace casted::pm {
+
+struct PassReport {
+  std::string pass;
+  double millis = 0.0;
+  // insnsAfter - insnsBefore: what the pass added (replication) or removed
+  // (DCE).  Summing deltas over the whole report reproduces the observed
+  // code growth (~2.4x for the CASTED schemes).
+  std::int64_t insnDelta = 0;
+  std::size_t insnsAfter = 0;
+  bool preservedAnalyses = false;
+  bool verified = false;  // post-pass IR verification ran (and passed)
+  std::vector<std::pair<std::string, std::uint64_t>> stats;
+
+  // Value of `key`, or 0 if the pass did not record it.
+  std::uint64_t stat(std::string_view key) const;
+};
+
+struct PipelineReport {
+  std::vector<PassReport> passes;
+  std::size_t sourceInsns = 0;  // before the first pass
+  std::size_t finalInsns = 0;   // after the last pass
+
+  // Analysis-cache behaviour across the pipeline (including the scheduler's
+  // reuse of the assignment pass's DFGs when the caller shares the manager).
+  std::uint64_t analysisHits = 0;
+  std::uint64_t analysisMisses = 0;
+
+  // Report of pass `name`, or nullptr if it did not run.
+  const PassReport* find(std::string_view name) const;
+
+  // stat(`key`) of pass `name`; 0 when the pass did not run or did not
+  // record the key.
+  std::uint64_t stat(std::string_view name, std::string_view key) const;
+
+  double totalMillis() const;
+
+  // Net instruction delta across all passes (== finalInsns - sourceInsns).
+  std::int64_t totalInsnDelta() const;
+
+  // Multi-line ASCII table: pass, time, Δinsns, preserved, stats.
+  std::string toString() const;
+};
+
+}  // namespace casted::pm

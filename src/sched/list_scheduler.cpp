@@ -121,23 +121,30 @@ BlockSchedule scheduleBlock(const dfg::DataFlowGraph& graph,
 }
 
 FunctionSchedule scheduleFunction(const ir::Function& fn,
-                                  const arch::MachineConfig& config) {
+                                  const arch::MachineConfig& config,
+                                  pm::AnalysisManager* am) {
   FunctionSchedule schedule;
   schedule.blocks.reserve(fn.blockCount());
   for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
-    const dfg::DataFlowGraph graph(fn.block(b), config);
-    schedule.blocks.push_back(scheduleBlock(graph, config));
+    if (am != nullptr) {
+      schedule.blocks.push_back(
+          scheduleBlock(am->dataFlowGraph(fn, b), config));
+    } else {
+      const dfg::DataFlowGraph graph(fn.block(b), config);
+      schedule.blocks.push_back(scheduleBlock(graph, config));
+    }
   }
   return schedule;
 }
 
 ProgramSchedule scheduleProgram(const ir::Program& program,
-                                const arch::MachineConfig& config) {
+                                const arch::MachineConfig& config,
+                                pm::AnalysisManager* am) {
   ProgramSchedule schedule;
   schedule.functions.reserve(program.functionCount());
   for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
     schedule.functions.push_back(
-        scheduleFunction(program.function(f), config));
+        scheduleFunction(program.function(f), config, am));
   }
   return schedule;
 }

@@ -11,6 +11,7 @@
 
 #include "arch/machine_config.h"
 #include "dfg/dfg.h"
+#include "pm/analysis_manager.h"
 #include "sched/schedule.h"
 
 namespace casted::sched {
@@ -20,13 +21,17 @@ namespace casted::sched {
 BlockSchedule scheduleBlock(const dfg::DataFlowGraph& graph,
                             const arch::MachineConfig& config);
 
-// Schedules every block of `fn`.
+// Schedules every block of `fn`.  With `am`, block DFGs come from the
+// manager's cache (typically warm from the assignment pass, which preserves
+// them) instead of being rebuilt.
 FunctionSchedule scheduleFunction(const ir::Function& fn,
-                                  const arch::MachineConfig& config);
+                                  const arch::MachineConfig& config,
+                                  pm::AnalysisManager* am = nullptr);
 
 // Schedules every function of `program`.
 ProgramSchedule scheduleProgram(const ir::Program& program,
-                                const arch::MachineConfig& config);
+                                const arch::MachineConfig& config,
+                                pm::AnalysisManager* am = nullptr);
 
 // The operand-ready helper shared with BUG's completion-cycle heuristic:
 // earliest cycle `node` could issue on `cluster`, given issue cycles and

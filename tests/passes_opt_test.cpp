@@ -1,11 +1,11 @@
 // Tests for liveness analysis and the late CSE/DCE passes.
 #include <gtest/gtest.h>
 
+#include "dfg/liveness.h"
 #include "ir/builder.h"
 #include "ir/verifier.h"
 #include "passes/error_detection.h"
 #include "passes/late_opts.h"
-#include "passes/liveness.h"
 #include "test_util.h"
 
 namespace casted::passes {
@@ -20,6 +20,10 @@ using ir::Opcode;
 using ir::Program;
 using ir::Reg;
 using ir::RegClass;
+
+using dfg::computeLiveness;
+using dfg::LivenessInfo;
+using dfg::maxPressure;
 
 // --- liveness ---------------------------------------------------------------
 

@@ -27,8 +27,8 @@ TEST(PipelineTest, CompileProducesVerifiedProgramAndSchedule) {
       compile(prog, testutil::machine(2, 1), Scheme::kCasted);
   EXPECT_TRUE(ir::verify(bin.program).empty());
   EXPECT_EQ(bin.schedule.functions.size(), bin.program.functionCount());
-  EXPECT_GT(bin.errorDetectionStats.replicated, 0u);
-  EXPECT_GT(bin.errorDetectionStats.checks, 0u);
+  EXPECT_GT(bin.report.stat("error-detection", "replicated"), 0u);
+  EXPECT_GT(bin.report.stat("error-detection", "checks"), 0u);
 }
 
 TEST(PipelineTest, SourceProgramNotModified) {
@@ -42,8 +42,9 @@ TEST(PipelineTest, NoedSkipsErrorDetection) {
   const ir::Program prog = testutil::makeTinyProgram();
   const CompiledProgram bin =
       compile(prog, testutil::machine(2, 1), Scheme::kNoed);
-  EXPECT_EQ(bin.errorDetectionStats.replicated, 0u);
-  EXPECT_EQ(bin.assignmentStats.offCluster0, 0u);
+  EXPECT_EQ(bin.report.find("error-detection"), nullptr);
+  EXPECT_EQ(bin.report.stat("error-detection", "replicated"), 0u);
+  EXPECT_EQ(bin.report.stat("assignment", "off-cluster0"), 0u);
 }
 
 TEST(PipelineTest, CodeGrowthNearPaperFactor) {
@@ -189,7 +190,7 @@ TEST(PipelineTest, UnprotectedHelperSkipsProtection) {
   wl.program.findFunction("span")->setProtected(false);
   const CompiledProgram bin =
       compile(wl.program, testutil::machine(2, 1), Scheme::kCasted);
-  EXPECT_EQ(bin.errorDetectionStats.skippedUnprotected, 1u);
+  EXPECT_EQ(bin.report.stat("error-detection", "skipped-unprotected"), 1u);
   // The helper kept its original size (no duplicates inside).
   const ir::Function* span = nullptr;
   for (ir::FuncId f = 0; f < bin.program.functionCount(); ++f) {

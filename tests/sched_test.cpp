@@ -64,7 +64,9 @@ TEST(ReservationTableTest, FpPortLimitEnforced) {
 }
 
 TEST(ReservationTableTest, UsedSlotsTracksPerCluster) {
-  ReservationTable table(testutil::machine(2, 1));
+  // Named config: ReservationTable keeps a reference to it.
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  ReservationTable table(config);
   table.reserve(0, 0, ir::FuClass::kIntAlu);
   table.reserve(1, 3, ir::FuClass::kMem);
   table.reserve(1, 4, ir::FuClass::kMem);
@@ -73,7 +75,8 @@ TEST(ReservationTableTest, UsedSlotsTracksPerCluster) {
 }
 
 TEST(ReservationTableTest, ReserveUnavailableThrows) {
-  ReservationTable table(testutil::machine(1, 1));
+  const arch::MachineConfig config = testutil::machine(1, 1);
+  ReservationTable table(config);
   table.reserve(0, 0, ir::FuClass::kIntAlu);
   EXPECT_THROW(table.reserve(0, 0, ir::FuClass::kIntAlu), FatalError);
 }

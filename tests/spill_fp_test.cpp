@@ -5,9 +5,9 @@
 #include <cstring>
 
 #include "core/pipeline.h"
+#include "dfg/liveness.h"
 #include "ir/builder.h"
 #include "ir/verifier.h"
-#include "passes/liveness.h"
 #include "passes/spill.h"
 #include "sched/list_scheduler.h"
 #include "test_util.h"
@@ -57,7 +57,7 @@ TEST(FpSpillTest, SpillsFpRegistersWhenOverCapacity) {
   const arch::MachineConfig config = testutil::machine(2, 1);
   const SpillStats stats = applySpilling(prog, config);
   EXPECT_GT(stats.spilledRegs, 0u);
-  const LivenessInfo liveness = computeLiveness(prog.function(0));
+  const dfg::LivenessInfo liveness = dfg::computeLiveness(prog.function(0));
   EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kFp)],
             config.registerFile.fp);
   EXPECT_TRUE(ir::verify(prog).empty());
@@ -106,7 +106,7 @@ TEST(FpSpillTest, MixedPressureSpillsBothClasses) {
 
   const arch::MachineConfig config = testutil::machine(2, 1);
   applySpilling(prog, config);
-  const LivenessInfo liveness = computeLiveness(prog.function(0));
+  const dfg::LivenessInfo liveness = dfg::computeLiveness(prog.function(0));
   EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kGp)],
             config.registerFile.gp);
   EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kFp)],
@@ -135,7 +135,7 @@ TEST(FpSpillTest, SpilledFpProgramSurvivesFullPipeline) {
       prog, machine, Scheme::kNoed, options);
   const core::CompiledProgram bin =
       core::compile(prog, machine, Scheme::kCasted, options);
-  EXPECT_GT(bin.spillStats.spilledRegs, 0u);
+  EXPECT_GT(bin.report.stat("spill", "spilled-regs"), 0u);
   const sim::RunResult a = core::run(plain);
   const sim::RunResult b = core::run(bin);
   EXPECT_EQ(a.output, b.output);

@@ -5,10 +5,10 @@
 #include "sched/list_scheduler.h"
 
 #include "core/pipeline.h"
+#include "dfg/liveness.h"
 #include "ir/builder.h"
 #include "ir/verifier.h"
 #include "passes/error_detection.h"
-#include "passes/liveness.h"
 #include "passes/spill.h"
 #include "test_util.h"
 #include "workloads/workloads.h"
@@ -68,7 +68,7 @@ TEST(SpillTest, SpillsUntilPressureFits) {
   EXPECT_GT(stats.spillStores, 0u);
   EXPECT_GT(stats.spillReloads, 0u);
   EXPECT_TRUE(prog.hasSymbol("spill$main"));
-  const LivenessInfo liveness = computeLiveness(prog.function(0));
+  const dfg::LivenessInfo liveness = dfg::computeLiveness(prog.function(0));
   EXPECT_LE(liveness.maxPressure[static_cast<int>(RegClass::kGp)],
             config.registerFile.gp);
   EXPECT_TRUE(ir::verify(prog).empty());
@@ -141,7 +141,8 @@ TEST(SpillTest, PipelineIntegrationPreservesWorkloadOutput) {
   options.modelRegisterPressure = true;
   const core::CompiledProgram spilled =
       core::compile(wl.program, config, Scheme::kSced, options);
-  EXPECT_GT(spilled.spillStats.spilledRegs, 0u);  // the DCT block overflows
+  // The DCT block overflows the register file.
+  EXPECT_GT(spilled.report.stat("spill", "spilled-regs"), 0u);
   const sim::RunResult a = core::run(plain);
   const sim::RunResult b = core::run(spilled);
   EXPECT_EQ(a.output, b.output);
