@@ -1,22 +1,102 @@
-// Micro-bench: thread scaling of the Monte Carlo fault campaign.
+// Micro-bench: engine and thread scaling of the Monte Carlo fault campaign.
 //
-// Runs the same campaign at 1, 2, 4, ... worker threads and reports wall
-// time, speedup, and — the correctness half of the claim — that the outcome
-// counts are bit-identical at every thread count (each trial's randomness
-// derives only from seed ^ trialIndex).
+// Axis 1 — engine: the same single-threaded campaign runs on the reference
+// IR-walking interpreter and on the decoded micro-op engine; reports wall
+// time, dynamic instructions per second, the decoded/reference speedup, and
+// — the correctness half of the claim — that the outcome counts are
+// bit-identical between engines.  The result is written to
+// BENCH_sim_engine.json (override the path with CASTED_BENCH_JSON).
+//
+// Axis 2 — threads: the decoded-engine campaign at 1, 2, 4, ... workers
+// with bit-identical counts at every width (each trial's randomness derives
+// only from deriveStreamSeed(seed, trialIndex)).
 //
 //   CASTED_SCALE / CASTED_TRIALS as usual; CASTED_MAX_THREADS caps the sweep.
 #include <chrono>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
 
+using namespace casted;
+
+namespace {
+
+struct EngineSample {
+  sim::Engine engine = sim::Engine::kDecoded;
+  double wallMs = 0.0;
+  double insnsPerSec = 0.0;
+  fault::CoverageReport report;
+};
+
+EngineSample measure(const core::CompiledProgram& bin, sim::Engine engine,
+                     std::uint32_t trials) {
+  fault::CampaignOptions options;
+  options.trials = trials;
+  options.threads = 1;
+  options.simOptions.engine = engine;
+  const auto start = std::chrono::steady_clock::now();
+  EngineSample sample;
+  sample.engine = engine;
+  sample.report = core::campaign(bin, options);
+  sample.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  sample.insnsPerSec = sample.wallMs <= 0.0
+                           ? 0.0
+                           : static_cast<double>(sample.report.dynamicInsns) /
+                                 (sample.wallMs / 1000.0);
+  return sample;
+}
+
+void writeJson(const std::string& path, const std::string& workload,
+               std::uint32_t trials, const EngineSample& reference,
+               const EngineSample& decoded) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("(could not write %s)\n", path.c_str());
+    return;
+  }
+  const double speedup =
+      decoded.wallMs <= 0.0 ? 0.0 : reference.wallMs / decoded.wallMs;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"campaign_scaling\",\n");
+  std::fprintf(out, "  \"workload\": \"%s\",\n", workload.c_str());
+  std::fprintf(out, "  \"scheme\": \"casted\",\n");
+  std::fprintf(out, "  \"trials\": %u,\n", trials);
+  std::fprintf(out, "  \"threads\": 1,\n");
+  std::fprintf(out, "  \"engines\": {\n");
+  const EngineSample* samples[2] = {&reference, &decoded};
+  for (int i = 0; i < 2; ++i) {
+    const EngineSample& s = *samples[i];
+    std::fprintf(out, "    \"%s\": {\n", sim::engineName(s.engine));
+    std::fprintf(out, "      \"wall_ms\": %.3f,\n", s.wallMs);
+    std::fprintf(out, "      \"dynamic_insns\": %llu,\n",
+                 static_cast<unsigned long long>(s.report.dynamicInsns));
+    std::fprintf(out, "      \"insns_per_sec\": %.0f\n", s.insnsPerSec);
+    std::fprintf(out, "    }%s\n", i == 0 ? "," : "");
+  }
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"decoded_speedup\": %.3f,\n", speedup);
+  std::fprintf(out, "  \"counts_identical\": %s\n",
+               reference.report.counts == decoded.report.counts &&
+                       reference.report.dynamicInsns ==
+                           decoded.report.dynamicInsns
+                   ? "true"
+                   : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
 int main() {
-  using namespace casted;
   benchutil::printHeader(
-      "campaign_scaling — fault-campaign thread scaling",
+      "campaign_scaling — fault-campaign engine + thread scaling",
       "infrastructure for Figs. 9/10 (deterministic parallel campaign)");
 
   const std::uint32_t scale = benchutil::envU32("CASTED_SCALE", 1);
@@ -26,6 +106,10 @@ int main() {
   const std::uint32_t maxThreads = benchutil::envU32(
       "CASTED_MAX_THREADS",
       std::max(4u, std::thread::hardware_concurrency()));
+  const char* jsonEnv = std::getenv("CASTED_BENCH_JSON");
+  const std::string jsonPath =
+      (jsonEnv != nullptr && *jsonEnv != '\0') ? jsonEnv
+                                               : "BENCH_sim_engine.json";
 
   const workloads::Workload wl = workloads::makeH263dec(scale);
   const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
@@ -36,9 +120,27 @@ int main() {
 
   std::printf("%s, %u trials, CASTED scheme\n\n", wl.name.c_str(), trials);
 
+  // ---- Axis 1: engine (single-threaded) ------------------------------
+  const EngineSample reference =
+      measure(bin, sim::Engine::kReference, trials);
+  const EngineSample decoded = measure(bin, sim::Engine::kDecoded, trials);
+
+  TextTable engineTable(
+      {"engine", "wall ms", "Minsns/s", "speedup", "counts identical"});
+  for (const EngineSample* s : {&reference, &decoded}) {
+    engineTable.addRow(
+        {sim::engineName(s->engine), formatFixed(s->wallMs, 1),
+         formatFixed(s->insnsPerSec / 1e6, 1),
+         formatFixed(reference.wallMs / std::max(s->wallMs, 1e-9), 2),
+         s->report.counts == reference.report.counts ? "yes" : "NO (bug!)"});
+  }
+  std::printf("%s\n", engineTable.render().c_str());
+  writeJson(jsonPath, wl.name, trials, reference, decoded);
+
+  // ---- Axis 2: threads (decoded engine) ------------------------------
+  std::printf("\n");
   TextTable table({"threads", "wall ms", "speedup", "counts identical"});
   double serialMs = 0.0;
-  fault::CoverageReport reference;
   for (std::uint32_t threads = 1; threads <= maxThreads; threads *= 2) {
     fault::CampaignOptions options;
     options.trials = trials;
@@ -51,17 +153,19 @@ int main() {
             .count();
     if (threads == 1) {
       serialMs = ms;
-      reference = report;
     }
     table.addRow({std::to_string(threads), formatFixed(ms, 1),
                   formatFixed(serialMs / ms, 2),
-                  report.counts == reference.counts ? "yes" : "NO (bug!)"});
+                  report.counts == decoded.report.counts ? "yes"
+                                                         : "NO (bug!)"});
   }
   std::printf("%s", table.render().c_str());
   std::printf(
-      "\nReading: speedup should be near-linear until the core count (the\n"
+      "\nReading: the decoded engine should run the same campaign several\n"
+      "times faster than the reference interpreter at identical counts;\n"
+      "thread speedup should be near-linear until the core count (the\n"
       "trials are embarrassingly parallel); the counts column must say yes\n"
       "everywhere — the campaign's report is defined by (seed, trials)\n"
-      "alone, never by the thread count.\n");
+      "alone, never by the engine or the thread count.\n");
   return 0;
 }

@@ -5,10 +5,16 @@
 // classified into the five outcome classes.  Compares the unprotected
 // binary against the CASTED-protected one.
 //
-//   ./build/examples/fault_campaign [workload] [trials]
-//   e.g. ./build/examples/fault_campaign h263dec 300
+//   ./build/examples/fault_campaign [workload] [trials] [engine]
+//   e.g. ./build/examples/fault_campaign h263dec 300 decoded
+//
+// `engine` selects the simulator backend: "decoded" (default; the
+// pre-decoded micro-op engine) or "reference" (the direct IR walk the
+// decoded engine is differentially tested against).  The report is
+// bit-identical either way — only the wall time changes.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/pipeline.h"
 #include "support/statistics.h"
@@ -21,13 +27,24 @@ int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "h263dec";
   const std::uint32_t trials =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 150;
+  sim::Engine engine = sim::Engine::kDecoded;
+  if (argc > 3) {
+    if (std::strcmp(argv[3], "reference") == 0) {
+      engine = sim::Engine::kReference;
+    } else if (std::strcmp(argv[3], "decoded") != 0) {
+      std::fprintf(stderr, "unknown engine '%s' (decoded|reference)\n",
+                   argv[3]);
+      return 1;
+    }
+  }
 
   const workloads::Workload wl = workloads::makeWorkload(name, 1);
   const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
 
   std::printf("fault campaign on %s: %u trials per scheme, one bit flip per\n"
-              "%s-sized window of dynamic instructions (paper §IV-C)\n\n",
-              wl.name.c_str(), trials, "NOED");
+              "%s-sized window of dynamic instructions (paper §IV-C)\n"
+              "simulator engine: %s\n\n",
+              wl.name.c_str(), trials, "NOED", sim::engineName(engine));
 
   // The NOED dynamic length fixes the error *rate* for all binaries.
   const core::CompiledProgram noed =
@@ -43,6 +60,7 @@ int main(int argc, char** argv) {
     options.trials = trials;
     options.threads = 0;  // one worker per hardware thread; same counts as 1
     options.originalDefInsns = golden.stats.dynamicDefInsns;
+    options.simOptions.engine = engine;
     const fault::CoverageReport report = core::campaign(bin, options);
     table.addRow({schemeName(scheme),
                   formatPercent(report.fraction(fault::Outcome::kBenign)),

@@ -47,10 +47,16 @@ CompiledProgram compile(const ir::Program& source,
   compiled.schedule = sched::scheduleProgram(compiled.program, machine, &am);
   compiled.report.analysisHits = am.hits();
   compiled.report.analysisMisses = am.misses();
+  compiled.decoded = std::make_shared<const sim::DecodedProgram>(
+      sim::DecodedProgram::build(compiled.program, compiled.schedule,
+                                 compiled.machine));
   return compiled;
 }
 
 sim::RunResult run(const CompiledProgram& compiled, sim::SimOptions options) {
+  if (options.engine == sim::Engine::kDecoded && compiled.decoded != nullptr) {
+    return sim::runDecoded(*compiled.decoded, options);
+  }
   return sim::simulate(compiled.program, compiled.schedule, compiled.machine,
                        std::move(options));
 }
@@ -58,7 +64,8 @@ sim::RunResult run(const CompiledProgram& compiled, sim::SimOptions options) {
 fault::CoverageReport campaign(const CompiledProgram& compiled,
                                const fault::CampaignOptions& options) {
   return fault::runCampaign(compiled.program, compiled.schedule,
-                            compiled.machine, options);
+                            compiled.machine, options,
+                            compiled.decoded.get());
 }
 
 }  // namespace casted::core

@@ -17,6 +17,8 @@
 //       core::campaign(bin, {.trials = 300, .threads = 8});
 #pragma once
 
+#include <memory>
+
 #include "arch/machine_config.h"
 #include "fault/campaign.h"
 #include "ir/function.h"
@@ -44,7 +46,7 @@ struct PipelineOptions {
   // paper needed this.
   bool runLateOptimisations = true;
   passes::LateOptOptions lateOpts;
-  // Model per-cluster register-file capacity by spilling (DESIGN.md §7 and
+  // Model per-cluster register-file capacity by spilling (DESIGN.md §8 and
   // paper §IV-B1): off by default — the main experiments keep virtual
   // registers, `ablation_spill` turns this on.
   bool modelRegisterPressure = false;
@@ -64,6 +66,11 @@ struct CompiledProgram {
   // report.stat("error-detection", "checks")).  Passes that did not run
   // report 0 for every key.
   pm::PipelineReport report;
+  // Decoded form of (program, schedule, machine), built once by compile().
+  // Immutable and self-contained, so core::run / core::campaign (and any
+  // number of concurrent callers) share it read-only; shared_ptr keeps
+  // CompiledProgram copyable without re-decoding.
+  std::shared_ptr<const sim::DecodedProgram> decoded;
 
   // Static code growth vs `sourceInsns` (the paper reports ~2.4x).
   double codeGrowth(std::size_t sourceInsns) const {

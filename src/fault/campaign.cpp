@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -26,14 +27,12 @@ const char* outcomeName(Outcome outcome) {
   CASTED_UNREACHABLE("bad Outcome");
 }
 
-GoldenProfile profileGolden(const ir::Program& program,
-                            const sched::ProgramSchedule& schedule,
-                            const arch::MachineConfig& config,
-                            const sim::SimOptions& simOptions) {
+namespace {
+
+// Wraps a fault-free run into the campaign's golden profile.
+GoldenProfile makeProfile(sim::RunResult result) {
   GoldenProfile profile;
-  sim::SimOptions options = simOptions;
-  options.faultPlan = nullptr;
-  profile.result = sim::simulate(program, schedule, config, options);
+  profile.result = std::move(result);
   CASTED_CHECK(profile.result.exit == sim::ExitKind::kHalted)
       << "golden run did not halt cleanly ("
       << sim::exitKindName(profile.result.exit) << ")";
@@ -41,6 +40,17 @@ GoldenProfile profileGolden(const ir::Program& program,
   profile.cycles = profile.result.stats.cycles;
   CASTED_CHECK(profile.defInsns > 0) << "program executed no instructions";
   return profile;
+}
+
+}  // namespace
+
+GoldenProfile profileGolden(const ir::Program& program,
+                            const sched::ProgramSchedule& schedule,
+                            const arch::MachineConfig& config,
+                            const sim::SimOptions& simOptions) {
+  sim::SimOptions options = simOptions;
+  options.faultPlan = nullptr;
+  return makeProfile(sim::simulate(program, schedule, config, options));
 }
 
 Outcome classify(const sim::RunResult& faulty, const GoldenProfile& golden) {
@@ -102,25 +112,50 @@ sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
 
 namespace {
 
-// Executes one trial.  All randomness derives from (seed, trialIndex), so a
-// trial's outcome is independent of which worker runs it and in what order —
-// the property that makes the parallel campaign bit-identical to the serial
-// one.
-Outcome runTrial(const ir::Program& program,
-                 const sched::ProgramSchedule& schedule,
-                 const arch::MachineConfig& config,
-                 const CampaignOptions& options, const GoldenProfile& golden,
-                 std::uint32_t trialIndex) {
-  Rng trialRng(options.seed ^ static_cast<std::uint64_t>(trialIndex));
+// Executes one trial.  All randomness derives from (seed, trialIndex) via a
+// SplitMix64 mix, so a trial's outcome is independent of which worker runs
+// it and in what order — the property that makes the parallel campaign
+// bit-identical to the serial one.  `decoded` is the campaign-wide shared
+// decode (null when the reference engine was requested).
+struct TrialResult {
+  Outcome outcome = Outcome::kBenign;
+  std::uint64_t dynamicInsns = 0;
+};
+
+// Per-worker trial state, set up once and reused for every trial the worker
+// claims: the armed SimOptions (watchdog already applied; only faultPlan
+// changes per trial) and, for the decoded engine, the reusable execution
+// context over the shared DecodedProgram.
+struct TrialContext {
+  sim::SimOptions simOptions;
+  std::optional<sim::DecodedRunner> runner;
+
+  TrialContext(const CampaignOptions& options, const GoldenProfile& golden,
+               const sim::DecodedProgram* decoded)
+      : simOptions(options.simOptions) {
+    simOptions.maxCycles = golden.cycles * options.timeoutFactor;
+    if (decoded != nullptr) {
+      runner.emplace(*decoded);
+    }
+  }
+};
+
+TrialResult runTrial(const ir::Program& program,
+                     const sched::ProgramSchedule& schedule,
+                     const arch::MachineConfig& config, TrialContext& context,
+                     const CampaignOptions& options,
+                     const GoldenProfile& golden, std::uint32_t trialIndex) {
+  Rng trialRng(deriveStreamSeed(options.seed, trialIndex));
   const sim::FaultPlan plan =
       makeTrialPlan(trialRng, golden.defInsns, options.originalDefInsns);
 
-  sim::SimOptions simOptions = options.simOptions;
-  simOptions.faultPlan = &plan;
-  simOptions.maxCycles = golden.cycles * options.timeoutFactor;
+  context.simOptions.faultPlan = &plan;
   const sim::RunResult faulty =
-      sim::simulate(program, schedule, config, simOptions);
-  return classify(faulty, golden);
+      context.runner.has_value()
+          ? context.runner->run(context.simOptions)
+          : sim::simulate(program, schedule, config, context.simOptions);
+  context.simOptions.faultPlan = nullptr;
+  return {classify(faulty, golden), faulty.stats.dynamicInsns};
 }
 
 }  // namespace
@@ -128,9 +163,27 @@ Outcome runTrial(const ir::Program& program,
 CoverageReport runCampaign(const ir::Program& program,
                            const sched::ProgramSchedule& schedule,
                            const arch::MachineConfig& config,
-                           const CampaignOptions& options) {
-  const GoldenProfile golden =
-      profileGolden(program, schedule, config, options.simOptions);
+                           const CampaignOptions& options,
+                           const sim::DecodedProgram* decoded) {
+  // Decode once per campaign; every trial on every worker shares the result
+  // read-only.  A caller-supplied decode (e.g. core::CompiledProgram's) is
+  // reused as-is; the reference engine never touches a decode.
+  std::optional<sim::DecodedProgram> owned;
+  if (options.simOptions.engine == sim::Engine::kDecoded) {
+    if (decoded == nullptr) {
+      owned.emplace(sim::DecodedProgram::build(program, schedule, config));
+      decoded = &*owned;
+    }
+  } else {
+    decoded = nullptr;
+  }
+
+  sim::SimOptions goldenOptions = options.simOptions;
+  goldenOptions.faultPlan = nullptr;
+  const GoldenProfile golden = makeProfile(
+      decoded != nullptr
+          ? sim::runDecoded(*decoded, goldenOptions)
+          : sim::simulate(program, schedule, config, goldenOptions));
 
   std::uint32_t threads = options.threads;
   if (threads == 0) {
@@ -140,17 +193,20 @@ CoverageReport runCampaign(const ir::Program& program,
 
   CoverageReport report;
   if (threads <= 1) {
+    TrialContext context(options, golden, decoded);
     for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
-      ++report.counts[static_cast<int>(
-          runTrial(program, schedule, config, options, golden, trial))];
+      const TrialResult result = runTrial(program, schedule, config, context,
+                                          options, golden, trial);
+      ++report.counts[static_cast<int>(result.outcome)];
+      report.dynamicInsns += result.dynamicInsns;
     }
     report.trials = options.trials;
     return report;
   }
 
   // Work-stealing over a shared trial counter; each worker tallies into its
-  // own CoverageReport (outcome counts commute, so the merged report does
-  // not depend on which worker ran which trial).
+  // own CoverageReport (outcome counts and instruction totals commute, so
+  // the merged report does not depend on which worker ran which trial).
   std::atomic<std::uint32_t> nextTrial{0};
   std::vector<CoverageReport> partial(threads);
   std::vector<std::exception_ptr> errors(threads);
@@ -159,14 +215,19 @@ CoverageReport runCampaign(const ir::Program& program,
   for (std::uint32_t w = 0; w < threads; ++w) {
     pool.emplace_back([&, w] {
       try {
+        // One reusable execution context per worker; the DecodedProgram
+        // itself is shared read-only.
+        TrialContext context(options, golden, decoded);
         while (true) {
           const std::uint32_t trial =
               nextTrial.fetch_add(1, std::memory_order_relaxed);
           if (trial >= options.trials) {
             break;
           }
-          ++partial[w].counts[static_cast<int>(
-              runTrial(program, schedule, config, options, golden, trial))];
+          const TrialResult result = runTrial(program, schedule, config,
+                                              context, options, golden, trial);
+          ++partial[w].counts[static_cast<int>(result.outcome)];
+          partial[w].dynamicInsns += result.dynamicInsns;
         }
       } catch (...) {
         errors[w] = std::current_exception();
@@ -185,6 +246,7 @@ CoverageReport runCampaign(const ir::Program& program,
     for (std::size_t i = 0; i < kOutcomeCount; ++i) {
       report.counts[i] += part.counts[i];
     }
+    report.dynamicInsns += part.dynamicInsns;
   }
   report.trials = options.trials;
   return report;

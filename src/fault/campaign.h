@@ -18,6 +18,7 @@
 
 #include "arch/machine_config.h"
 #include "sched/schedule.h"
+#include "sim/decoded.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
@@ -38,6 +39,11 @@ const char* outcomeName(Outcome outcome);
 struct CoverageReport {
   std::array<std::uint64_t, kOutcomeCount> counts = {};
   std::uint64_t trials = 0;
+  // Total dynamic instructions executed across all faulty trials (excluding
+  // the golden profiling run) — the work metric the engine benchmarks
+  // divide by wall time.  Deterministic for a given (seed, trials) like the
+  // outcome counts.
+  std::uint64_t dynamicInsns = 0;
 
   double fraction(Outcome outcome) const {
     return trials == 0 ? 0.0
@@ -54,8 +60,9 @@ struct CampaignOptions {
   std::uint32_t trials = 300;  // the paper's Monte Carlo repetition count
   std::uint64_t seed = 0xCA57EDu;
   // Worker threads for the trial loop.  0 = one per hardware thread.  Each
-  // trial seeds its own RNG from `seed ^ trialIndex`, so the CoverageReport
-  // is bit-identical for every thread count (and to the serial run).
+  // trial seeds its own RNG from deriveStreamSeed(seed, trialIndex), so the
+  // CoverageReport is bit-identical for every thread count (and to the
+  // serial run).
   std::uint32_t threads = 1;
   // Dynamic def-producing instruction count of the ORIGINAL (NOED) binary;
   // sets the fixed error rate.  0 means "use the injected binary's own
@@ -91,10 +98,19 @@ sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
 
 // Runs the full campaign.  Trials execute on a pool of `options.threads`
 // workers; every trial's randomness depends only on (seed, trialIndex), so
-// the report is deterministic regardless of thread count or interleaving.
+// the report is deterministic regardless of thread count or interleaving —
+// and of the engine, since both engines are behaviourally identical.
+//
+// With the decoded engine (the default), the program is decoded ONCE —
+// either the caller-supplied `decoded` (e.g. the one cached in
+// core::CompiledProgram) or a locally built one — and shared read-only by
+// every worker, so the per-trial cost is pure execution with no IR
+// re-walking.  `decoded`, when given, must have been built from exactly
+// (program, schedule, config).
 CoverageReport runCampaign(const ir::Program& program,
                            const sched::ProgramSchedule& schedule,
                            const arch::MachineConfig& config,
-                           const CampaignOptions& options = {});
+                           const CampaignOptions& options = {},
+                           const sim::DecodedProgram* decoded = nullptr);
 
 }  // namespace casted::fault

@@ -4,7 +4,7 @@
 // the three classes of Table I (general-purpose, floating-point, predicate)
 // but use virtual register numbers.  Physical register-file capacity
 // (64 GP / 64 FP / 32 PR per cluster) is modelled by the register-pressure /
-// spill pass rather than by an allocator — see DESIGN.md §7.
+// spill pass rather than by an allocator — see DESIGN.md §8.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <bit>
+
 #include "support/check.h"
 
 namespace casted::sim {
@@ -10,57 +12,23 @@ CacheLevel::CacheLevel(const arch::CacheLevelConfig& config)
           config.sizeBytes / config.blockBytes / config.associativity)),
       ways_(static_cast<std::size_t>(setCount_) * config.associativity) {
   CASTED_CHECK(setCount_ > 0) << config.name << " has no sets";
-}
-
-std::uint64_t CacheLevel::setIndex(std::uint64_t address) const {
-  return (address / config_.blockBytes) & (setCount_ - 1);
-}
-
-std::uint64_t CacheLevel::tagOf(std::uint64_t address) const {
-  return address / config_.blockBytes / setCount_;
-}
-
-bool CacheLevel::lookup(std::uint64_t address) {
-  ++clock_;
-  const std::uint64_t set = setIndex(address);
-  const std::uint64_t tag = tagOf(address);
-  Way* base = &ways_[set * config_.associativity];
-  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      base[w].lastUse = clock_;
-      ++stats_.hits;
-      return true;
-    }
-  }
-  ++stats_.misses;
-  return false;
-}
-
-void CacheLevel::fill(std::uint64_t address) {
-  ++clock_;
-  const std::uint64_t set = setIndex(address);
-  const std::uint64_t tag = tagOf(address);
-  Way* base = &ways_[set * config_.associativity];
-  Way* victim = &base[0];
-  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
-    }
-    if (base[w].lastUse < victim->lastUse) {
-      victim = &base[w];
-    }
-  }
-  victim->valid = true;
-  victim->tag = tag;
-  victim->lastUse = clock_;
+  // The index/tag math assumes power-of-two geometry (it always did — the
+  // set mask silently required it; now it is enforced).
+  CASTED_CHECK((config.blockBytes & (config.blockBytes - 1)) == 0)
+      << config.name << " block size is not a power of two";
+  CASTED_CHECK((setCount_ & (setCount_ - 1)) == 0)
+      << config.name << " set count is not a power of two";
+  blockShift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(config.blockBytes)));
+  setShift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(setCount_)));
 }
 
 void CacheLevel::reset() {
-  for (Way& way : ways_) {
-    way = Way{};
-  }
-  clock_ = 0;
+  // Opening a new epoch invalidates every way without touching the array;
+  // clock_ keeps running, which is invisible (LRU is a total order on the
+  // current epoch's lastUse values regardless of their absolute base).
+  ++epoch_;
   stats_ = CacheLevelStats{};
 }
 
@@ -71,23 +39,6 @@ CacheHierarchy::CacheHierarchy(const arch::CacheConfig& config)
   for (const arch::CacheLevelConfig& level : config.levels) {
     levels_.emplace_back(level);
   }
-}
-
-std::uint32_t CacheHierarchy::access(std::uint64_t address) {
-  for (std::size_t i = 0; i < levels_.size(); ++i) {
-    if (levels_[i].lookup(address)) {
-      // Fill the line into the faster levels (inclusive hierarchy).
-      for (std::size_t j = 0; j < i; ++j) {
-        levels_[j].fill(address);
-      }
-      return levels_[i].config().latency;
-    }
-  }
-  ++memoryAccesses_;
-  for (CacheLevel& level : levels_) {
-    level.fill(address);
-  }
-  return memoryLatency_;
 }
 
 void CacheHierarchy::reset() {

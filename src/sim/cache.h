@@ -28,17 +28,57 @@ struct CacheLevelStats {
   }
 };
 
-// One set-associative LRU level.
+// One set-associative LRU level.  The lookup/fill path is header-inline:
+// every simulated memory access goes through it (millions of calls per
+// campaign), and the call overhead is measurable for both engines.
 class CacheLevel {
  public:
   explicit CacheLevel(const arch::CacheLevelConfig& config);
 
   // True when the line holding `address` is resident; updates LRU on hit.
-  bool lookup(std::uint64_t address);
+  bool lookup(std::uint64_t address) {
+    ++clock_;
+    const std::uint64_t set = setIndex(address);
+    const std::uint64_t tag = tagOf(address);
+    Way* base = &ways_[set * config_.associativity];
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+      if (base[w].epoch == epoch_ && base[w].tag == tag) {
+        base[w].lastUse = clock_;
+        ++stats_.hits;
+        return true;
+      }
+    }
+    ++stats_.misses;
+    return false;
+  }
 
   // Inserts the line holding `address`, evicting the LRU way.
-  void fill(std::uint64_t address);
+  void fill(std::uint64_t address) {
+    ++clock_;
+    const std::uint64_t set = setIndex(address);
+    const std::uint64_t tag = tagOf(address);
+    Way* base = &ways_[set * config_.associativity];
+    Way* victim = &base[0];
+    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+      if (base[w].epoch != epoch_) {
+        victim = &base[w];
+        break;
+      }
+      if (base[w].lastUse < victim->lastUse) {
+        victim = &base[w];
+      }
+    }
+    victim->epoch = epoch_;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+  }
 
+  // Invalidates every line and zeroes the stats.  O(1): validity is an
+  // epoch stamp per way, so a reset just opens a new epoch instead of
+  // touching the (potentially megabytes of) way array — that keeps the
+  // reusable decoded-engine contexts cheap.  Behaviour is identical to a
+  // freshly constructed level: stale-epoch ways read as invalid, and LRU
+  // only ever compares `lastUse` between ways of the current epoch.
   void reset();
 
   const CacheLevelStats& stats() const { return stats_; }
@@ -48,16 +88,26 @@ class CacheLevel {
   struct Way {
     std::uint64_t tag = 0;
     std::uint64_t lastUse = 0;
-    bool valid = false;
+    std::uint64_t epoch = 0;  // valid iff equal to the level's epoch_
   };
 
-  std::uint64_t setIndex(std::uint64_t address) const;
-  std::uint64_t tagOf(std::uint64_t address) const;
+  // Block size and set count are powers of two (checked in the
+  // constructor), so the per-access index/tag math is two shifts and a
+  // mask — no integer division on the hottest path in the simulator.
+  std::uint64_t setIndex(std::uint64_t address) const {
+    return (address >> blockShift_) & (setCount_ - 1);
+  }
+  std::uint64_t tagOf(std::uint64_t address) const {
+    return address >> (blockShift_ + setShift_);
+  }
 
   arch::CacheLevelConfig config_;
   std::uint32_t setCount_;
+  std::uint32_t blockShift_ = 0;
+  std::uint32_t setShift_ = 0;
   std::vector<Way> ways_;  // setCount_ * associativity
   std::uint64_t clock_ = 0;
+  std::uint64_t epoch_ = 1;  // ways start at 0, i.e. all invalid
   CacheLevelStats stats_;
 };
 
@@ -68,7 +118,22 @@ class CacheHierarchy {
 
   // Performs one access; returns its total latency in cycles (L1 latency on
   // an L1 hit, ... , memoryLatency on a full miss) and fills all levels.
-  std::uint32_t access(std::uint64_t address);
+  std::uint32_t access(std::uint64_t address) {
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (levels_[i].lookup(address)) {
+        // Fill the line into the faster levels (inclusive hierarchy).
+        for (std::size_t j = 0; j < i; ++j) {
+          levels_[j].fill(address);
+        }
+        return levels_[i].config().latency;
+      }
+    }
+    ++memoryAccesses_;
+    for (CacheLevel& level : levels_) {
+      level.fill(address);
+    }
+    return memoryLatency_;
+  }
 
   void reset();
 

@@ -1,0 +1,799 @@
+#include "sim/decoded.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "sim/simulator.h"
+#include "support/check.h"
+
+namespace casted::sim {
+
+namespace {
+
+using ir::Opcode;
+using ir::Reg;
+using ir::RegClass;
+
+// Mirrors of the reference engine's unwind signals.
+struct DetectedSignal {};
+struct TimeoutSignal {};
+struct HaltSignal {
+  std::int64_t exitCode = 0;
+};
+
+std::int64_t wrapAdd(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrapSub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrapMul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+std::int64_t wrapNeg(std::int64_t a) {
+  return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a));
+}
+
+constexpr std::uint32_t kDiscardReturns = 0xffffffffu;
+constexpr std::uint64_t kNoFault = ~0ULL;
+
+}  // namespace
+
+DecodedProgram DecodedProgram::build(const ir::Program& program,
+                                     const sched::ProgramSchedule& schedule,
+                                     const arch::MachineConfig& config) {
+  DecodedProgram decoded;
+  CASTED_CHECK(schedule.functions.size() == program.functionCount())
+      << "schedule/program function count mismatch";
+  decoded.entry_ = program.entryFunction();
+  decoded.symbols_ = program.symbols();
+  decoded.globalImage_ = program.globalImage();
+  decoded.cacheConfig_ = config.cache;
+  decoded.memBaseLatency_ = config.latencies.mem;
+
+  decoded.funcs_.resize(program.functionCount());
+  for (ir::FuncId f = 0; f < program.functionCount(); ++f) {
+    const ir::Function& fn = program.function(f);
+    DecodedFunction& dfn = decoded.funcs_[f];
+    CASTED_CHECK(schedule.functions[f].blocks.size() == fn.blockCount())
+        << "schedule/program block count mismatch in @" << fn.name();
+    dfn.name = fn.name();
+    dfn.regCount[0] = fn.regCount(RegClass::kGp);
+    dfn.regCount[1] = fn.regCount(RegClass::kFp);
+    dfn.regCount[2] = fn.regCount(RegClass::kPr);
+    for (const Reg& param : fn.params()) {
+      dfn.params.push_back(
+          {static_cast<std::uint8_t>(param.cls), param.index});
+    }
+
+    dfn.blocks.resize(fn.blockCount());
+    for (ir::BlockId b = 0; b < fn.blockCount(); ++b) {
+      const auto& insns = fn.block(b).insns();
+      decoded.maxBlockInsns_ = std::max(decoded.maxBlockInsns_, insns.size());
+      const sched::BlockSchedule& blockSched =
+          schedule.functions[f].blocks[b];
+      CASTED_CHECK(blockSched.issueCycle.size() == insns.size())
+          << "schedule built from a different program shape (@" << fn.name()
+          << " bb" << b << ")";
+
+      DecodedBlock& dbk = dfn.blocks[b];
+      dbk.firstOp = static_cast<std::uint32_t>(dfn.ops.size());
+      dbk.opCount = static_cast<std::uint32_t>(insns.size());
+      dbk.schedLength = blockSched.length;
+
+      // The memory plan must replay the reference walk's cache-access order
+      // exactly (LRU state and hit/miss counts depend on it), so it is
+      // built with the identical input sequence, comparator and sort.
+      struct MemOp {
+        std::uint32_t cycle = 0;
+        std::uint32_t node = 0;
+      };
+      std::vector<MemOp> plan;
+      for (std::uint32_t node = 0; node < insns.size(); ++node) {
+        if (insns[node].isMemory()) {
+          plan.push_back({blockSched.issueCycle[node], node});
+        }
+      }
+      std::sort(plan.begin(), plan.end(),
+                [](const MemOp& a, const MemOp& b) {
+                  return a.cycle < b.cycle;
+                });
+      dbk.planFirst = static_cast<std::uint32_t>(dfn.memPlan.size());
+      dbk.planCount = static_cast<std::uint32_t>(plan.size());
+      dbk.bundleFirst = static_cast<std::uint32_t>(dfn.bundleSizes.size());
+      std::size_t i = 0;
+      while (i < plan.size()) {
+        const std::uint32_t cycle = plan[i].cycle;
+        std::uint32_t size = 0;
+        while (i < plan.size() && plan[i].cycle == cycle) {
+          dfn.memPlan.push_back(plan[i].node);
+          ++size;
+          ++i;
+        }
+        dfn.bundleSizes.push_back(size);
+        ++dbk.bundleCount;
+      }
+
+      for (const ir::Instruction& insn : insns) {
+        MicroOp u;
+        u.op = insn.op;
+        u.defCount = static_cast<std::uint16_t>(insn.defs.size());
+        if (u.defCount == 1) {
+          u.defClass = static_cast<std::uint8_t>(insn.defs[0].cls);
+          u.def = insn.defs[0].index;
+        }
+        u.imm = insn.op == Opcode::kFMovImm
+                    ? std::bit_cast<std::int64_t>(insn.fimm)
+                    : insn.imm;
+        switch (insn.op) {
+          case Opcode::kBr:
+            u.t1 = insn.target;
+            break;
+          case Opcode::kBrCond:
+            u.a = insn.uses[0].index;
+            u.t1 = insn.target;
+            u.t2 = insn.target2;
+            break;
+          case Opcode::kCall: {
+            u.t1 = insn.callee;
+            u.a = static_cast<std::uint32_t>(decoded.pool_.size());
+            u.b = static_cast<std::uint32_t>(insn.uses.size());
+            for (const Reg& use : insn.uses) {
+              decoded.pool_.push_back(
+                  {static_cast<std::uint8_t>(use.cls), use.index});
+            }
+            u.c = static_cast<std::uint32_t>(decoded.pool_.size());
+            for (const Reg& def : insn.defs) {
+              decoded.pool_.push_back(
+                  {static_cast<std::uint8_t>(def.cls), def.index});
+            }
+            break;
+          }
+          case Opcode::kRet: {
+            u.a = static_cast<std::uint32_t>(decoded.pool_.size());
+            u.b = static_cast<std::uint32_t>(insn.uses.size());
+            for (const Reg& use : insn.uses) {
+              decoded.pool_.push_back(
+                  {static_cast<std::uint8_t>(use.cls), use.index});
+            }
+            break;
+          }
+          default: {
+            if (insn.uses.size() > 0) {
+              u.a = insn.uses[0].index;
+            }
+            if (insn.uses.size() > 1) {
+              u.b = insn.uses[1].index;
+            }
+            if (insn.uses.size() > 2) {
+              u.c = insn.uses[2].index;
+            }
+            break;
+          }
+        }
+        dfn.ops.push_back(u);
+      }
+    }
+  }
+  return decoded;
+}
+
+namespace {
+
+// The decoded interpreter.  Frames live in three per-class arenas (one
+// contiguous slab per register class) instead of per-call heap vectors; a
+// call pushes `regCount` zeroed slots per class and pops them on return.
+//
+// One Interp is a reusable context: reset() restores the fresh-construction
+// architectural state in time proportional to what the previous run touched
+// (write-logged memory, epoch-invalidated caches, cleared arenas), so a
+// campaign worker pays the megabyte-scale allocations once, not per trial.
+struct Interp {
+  const DecodedProgram& prog;
+  const SimOptions* options = nullptr;  // set by reset() before each run
+  Memory memory;
+  std::uint64_t heapBytes;
+  CacheHierarchy caches;
+  RunStats stats;
+
+  std::vector<std::int64_t> gpStack;
+  std::vector<double> fpStack;
+  std::vector<std::uint8_t> prStack;
+
+  // Address computed for each memory op of the current block, indexed by the
+  // op's node position — the same indexing the reference walk uses, so the
+  // (harmless, never observed for completed blocks) aliasing of the scratch
+  // across nested calls is bit-identical too.
+  std::vector<std::uint64_t> addr;
+
+  std::size_t faultCursor = 0;
+  std::uint64_t defOrdinal = 0;
+  std::uint64_t nextFaultOrdinal = kNoFault;
+
+  struct FrameBase {
+    std::uint32_t gp = 0;
+    std::uint32_t fp = 0;
+    std::uint32_t pr = 0;
+  };
+
+  explicit Interp(const DecodedProgram& program)
+      : prog(program),
+        memory(program.globalImage(), SimOptions{}.heapBytes),
+        heapBytes(SimOptions{}.heapBytes),
+        caches(program.cacheConfig()) {
+    memory.enableWriteLog();
+    addr.assign(prog.maxBlockInsns(), 0);
+  }
+
+  // Restores fresh-context state and arms the run with `opts`.
+  void reset(const SimOptions& opts) {
+    options = &opts;
+    if (opts.heapBytes != heapBytes) {
+      memory = Memory(prog.globalImage(), opts.heapBytes);
+      memory.enableWriteLog();
+      heapBytes = opts.heapBytes;
+    } else {
+      memory.resetLogged(prog.globalImage());
+    }
+    caches.reset();
+    stats = RunStats{};
+    gpStack.clear();
+    fpStack.clear();
+    prStack.clear();
+    std::fill(addr.begin(), addr.end(), 0);
+    faultCursor = 0;
+    defOrdinal = 0;
+    nextFaultOrdinal =
+        (opts.faultPlan != nullptr && !opts.faultPlan->points.empty())
+            ? opts.faultPlan->points[0].ordinal
+            : kNoFault;
+  }
+
+  // Reads one register as raw bits; the marshalling used for call arguments
+  // and returned values (identical to the reference's RawValue round trip).
+  std::uint64_t readBits(const FrameBase& frame, const DecodedReg& reg) const {
+    switch (static_cast<RegClass>(reg.cls)) {
+      case RegClass::kGp:
+        return static_cast<std::uint64_t>(gpStack[frame.gp + reg.slot]);
+      case RegClass::kFp:
+        return std::bit_cast<std::uint64_t>(fpStack[frame.fp + reg.slot]);
+      case RegClass::kPr:
+        return prStack[frame.pr + reg.slot];
+    }
+    CASTED_UNREACHABLE("bad RegClass");
+  }
+
+  void writeBits(const FrameBase& frame, const DecodedReg& reg,
+                 std::uint64_t bits) {
+    switch (static_cast<RegClass>(reg.cls)) {
+      case RegClass::kGp:
+        gpStack[frame.gp + reg.slot] = static_cast<std::int64_t>(bits);
+        break;
+      case RegClass::kFp:
+        fpStack[frame.fp + reg.slot] = std::bit_cast<double>(bits);
+        break;
+      case RegClass::kPr:
+        prStack[frame.pr + reg.slot] = bits != 0 ? 1 : 0;
+        break;
+    }
+  }
+
+  // Applies the pending fault point to one def of `target` (the op whose
+  // defOrdinal just matched), then advances the plan cursor.
+  void injectFault(const MicroOp& u, const FrameBase& frame) {
+    const FaultPoint& point = options->faultPlan->points[faultCursor];
+    ++faultCursor;
+    nextFaultOrdinal = faultCursor < options->faultPlan->points.size()
+                           ? options->faultPlan->points[faultCursor].ordinal
+                           : kNoFault;
+    DecodedReg target;
+    if (u.op == Opcode::kCall) {
+      target = prog.pool()[u.c + point.whichDef % u.defCount];
+    } else {
+      target = {u.defClass, u.def};
+    }
+    switch (static_cast<RegClass>(target.cls)) {
+      case RegClass::kGp:
+        gpStack[frame.gp + target.slot] ^=
+            static_cast<std::int64_t>(1ULL << (point.bit & 63));
+        break;
+      case RegClass::kFp: {
+        std::uint64_t bits =
+            std::bit_cast<std::uint64_t>(fpStack[frame.fp + target.slot]);
+        bits ^= 1ULL << (point.bit & 63);
+        fpStack[frame.fp + target.slot] = std::bit_cast<double>(bits);
+        break;
+      }
+      case RegClass::kPr:
+        prStack[frame.pr + target.slot] ^= 1;
+        break;
+    }
+  }
+
+  void chargeBlockTiming(const DecodedFunction& fn, const DecodedBlock& blk) {
+    std::uint64_t stalls = 0;
+    const std::uint32_t* plan = fn.memPlan.data() + blk.planFirst;
+    const std::uint32_t* bundles = fn.bundleSizes.data() + blk.bundleFirst;
+    const std::uint32_t baseLatency = prog.memBaseLatency();
+    std::uint32_t cursor = 0;
+    for (std::uint32_t bundle = 0; bundle < blk.bundleCount; ++bundle) {
+      // All memory ops issued in the same cycle overlap their misses; the
+      // bundle pays only the worst extra latency.
+      std::uint32_t worstExtra = 0;
+      for (std::uint32_t n = 0; n < bundles[bundle]; ++n) {
+        const std::uint32_t latency = caches.access(addr[plan[cursor]]);
+        if (latency > baseLatency) {
+          worstExtra = std::max(worstExtra, latency - baseLatency);
+        }
+        ++cursor;
+      }
+      stalls += worstExtra;
+    }
+    stats.cycles += blk.schedLength + stalls;
+    stats.stallCycles += stalls;
+    ++stats.blockExecutions;
+  }
+
+  // Executes function `funcIdx` until it returns.  Arguments are copied from
+  // the caller frame via the pool list at [argPool, argPool+argCount);
+  // returned values are written back to the caller's call-def list at
+  // [retPool, retPool+retCount) — or discarded for the entry invocation
+  // (retCount == kDiscardReturns).
+  void runFunction(std::uint32_t funcIdx, std::uint32_t argPool,
+                   std::uint32_t argCount, FrameBase caller,
+                   std::uint32_t retPool, std::uint32_t retCount,
+                   std::uint32_t depth) {
+    if (depth > options->maxCallDepth) {
+      throw TrapError{TrapKind::kStackOverflow, 0};
+    }
+    const DecodedFunction& fn = prog.functions()[funcIdx];
+    CASTED_CHECK(argCount == fn.params.size())
+        << "bad argument count calling @" << fn.name;
+
+    FrameBase self{static_cast<std::uint32_t>(gpStack.size()),
+                   static_cast<std::uint32_t>(fpStack.size()),
+                   static_cast<std::uint32_t>(prStack.size())};
+    gpStack.resize(self.gp + fn.regCount[0], 0);
+    fpStack.resize(self.fp + fn.regCount[1], 0.0);
+    prStack.resize(self.pr + fn.regCount[2], 0);
+    for (std::uint32_t i = 0; i < argCount; ++i) {
+      writeBits(self, fn.params[i],
+                readBits(caller, prog.pool()[argPool + i]));
+    }
+
+    std::uint32_t current = 0;
+    while (true) {
+      if (stats.cycles > options->maxCycles) {
+        throw TimeoutSignal{};
+      }
+      const DecodedBlock& blk = fn.blocks[current];
+      const MicroOp* ops = fn.ops.data() + blk.firstOp;
+      // Frame pointers are refreshed per block and after every call — the
+      // arenas may reallocate while a callee runs.
+      std::int64_t* gp = gpStack.data() + self.gp;
+      double* fp = fpStack.data() + self.fp;
+      std::uint8_t* pr = prStack.data() + self.pr;
+      std::uint32_t next = ir::kInvalidBlock;
+      bool returned = false;
+      for (std::uint32_t node = 0; node < blk.opCount; ++node) {
+        const MicroOp& u = ops[node];
+        ++stats.dynamicInsns;
+        switch (u.op) {
+          case Opcode::kNop:
+            break;
+          case Opcode::kMovImm:
+            gp[u.def] = u.imm;
+            break;
+          case Opcode::kMov:
+            gp[u.def] = gp[u.a];
+            break;
+          case Opcode::kAdd:
+            gp[u.def] = wrapAdd(gp[u.a], gp[u.b]);
+            break;
+          case Opcode::kSub:
+            gp[u.def] = wrapSub(gp[u.a], gp[u.b]);
+            break;
+          case Opcode::kMul:
+            gp[u.def] = wrapMul(gp[u.a], gp[u.b]);
+            break;
+          case Opcode::kDiv: {
+            const std::int64_t divisor = gp[u.b];
+            if (divisor == 0) {
+              throw TrapError{TrapKind::kDivByZero, 0};
+            }
+            const std::int64_t dividend = gp[u.a];
+            if (dividend == std::numeric_limits<std::int64_t>::min() &&
+                divisor == -1) {
+              gp[u.def] = dividend;  // hardware-defined wrap
+            } else {
+              gp[u.def] = dividend / divisor;
+            }
+            break;
+          }
+          case Opcode::kRem: {
+            const std::int64_t divisor = gp[u.b];
+            if (divisor == 0) {
+              throw TrapError{TrapKind::kDivByZero, 0};
+            }
+            const std::int64_t dividend = gp[u.a];
+            if (dividend == std::numeric_limits<std::int64_t>::min() &&
+                divisor == -1) {
+              gp[u.def] = 0;
+            } else {
+              gp[u.def] = dividend % divisor;
+            }
+            break;
+          }
+          case Opcode::kAnd:
+            gp[u.def] = gp[u.a] & gp[u.b];
+            break;
+          case Opcode::kOr:
+            gp[u.def] = gp[u.a] | gp[u.b];
+            break;
+          case Opcode::kXor:
+            gp[u.def] = gp[u.a] ^ gp[u.b];
+            break;
+          case Opcode::kShl:
+            gp[u.def] = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(gp[u.a]) << (gp[u.b] & 63));
+            break;
+          case Opcode::kShr:
+            gp[u.def] = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(gp[u.a]) >> (gp[u.b] & 63));
+            break;
+          case Opcode::kSra:
+            gp[u.def] = gp[u.a] >> (gp[u.b] & 63);
+            break;
+          case Opcode::kMin:
+            gp[u.def] = std::min(gp[u.a], gp[u.b]);
+            break;
+          case Opcode::kMax:
+            gp[u.def] = std::max(gp[u.a], gp[u.b]);
+            break;
+          case Opcode::kAddImm:
+            gp[u.def] = wrapAdd(gp[u.a], u.imm);
+            break;
+          case Opcode::kMulImm:
+            gp[u.def] = wrapMul(gp[u.a], u.imm);
+            break;
+          case Opcode::kAndImm:
+            gp[u.def] = gp[u.a] & u.imm;
+            break;
+          case Opcode::kShlImm:
+            gp[u.def] = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(gp[u.a]) << (u.imm & 63));
+            break;
+          case Opcode::kShrImm:
+            gp[u.def] = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(gp[u.a]) >> (u.imm & 63));
+            break;
+          case Opcode::kSraImm:
+            gp[u.def] = gp[u.a] >> (u.imm & 63);
+            break;
+          case Opcode::kNeg:
+            gp[u.def] = wrapNeg(gp[u.a]);
+            break;
+          case Opcode::kAbs: {
+            const std::int64_t value = gp[u.a];
+            gp[u.def] = value < 0 ? wrapNeg(value) : value;
+            break;
+          }
+          case Opcode::kNot:
+            gp[u.def] = ~gp[u.a];
+            break;
+          case Opcode::kSelect:
+            gp[u.def] = pr[u.a] != 0 ? gp[u.b] : gp[u.c];
+            break;
+          case Opcode::kCmpEq:
+            pr[u.def] = gp[u.a] == gp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kCmpNe:
+            pr[u.def] = gp[u.a] != gp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kCmpLt:
+            pr[u.def] = gp[u.a] < gp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kCmpLe:
+            pr[u.def] = gp[u.a] <= gp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kCmpGt:
+            pr[u.def] = gp[u.a] > gp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kCmpGe:
+            pr[u.def] = gp[u.a] >= gp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kCmpEqImm:
+            pr[u.def] = gp[u.a] == u.imm ? 1 : 0;
+            break;
+          case Opcode::kCmpNeImm:
+            pr[u.def] = gp[u.a] != u.imm ? 1 : 0;
+            break;
+          case Opcode::kCmpLtImm:
+            pr[u.def] = gp[u.a] < u.imm ? 1 : 0;
+            break;
+          case Opcode::kCmpLeImm:
+            pr[u.def] = gp[u.a] <= u.imm ? 1 : 0;
+            break;
+          case Opcode::kCmpGtImm:
+            pr[u.def] = gp[u.a] > u.imm ? 1 : 0;
+            break;
+          case Opcode::kCmpGeImm:
+            pr[u.def] = gp[u.a] >= u.imm ? 1 : 0;
+            break;
+          case Opcode::kPMov:
+            pr[u.def] = pr[u.a];
+            break;
+          case Opcode::kPNot:
+            pr[u.def] = pr[u.a] != 0 ? 0 : 1;
+            break;
+          case Opcode::kPAnd:
+            pr[u.def] = (pr[u.a] != 0 && pr[u.b] != 0) ? 1 : 0;
+            break;
+          case Opcode::kPOr:
+            pr[u.def] = (pr[u.a] != 0 || pr[u.b] != 0) ? 1 : 0;
+            break;
+          case Opcode::kPXor:
+            pr[u.def] = ((pr[u.a] != 0) != (pr[u.b] != 0)) ? 1 : 0;
+            break;
+          case Opcode::kPSetImm:
+            pr[u.def] = u.imm != 0 ? 1 : 0;
+            break;
+          case Opcode::kFMovImm:
+            fp[u.def] = std::bit_cast<double>(u.imm);
+            break;
+          case Opcode::kFMov:
+            fp[u.def] = fp[u.a];
+            break;
+          case Opcode::kFAdd:
+            fp[u.def] = fp[u.a] + fp[u.b];
+            break;
+          case Opcode::kFSub:
+            fp[u.def] = fp[u.a] - fp[u.b];
+            break;
+          case Opcode::kFMul:
+            fp[u.def] = fp[u.a] * fp[u.b];
+            break;
+          case Opcode::kFDiv:
+            fp[u.def] = fp[u.a] / fp[u.b];
+            break;
+          case Opcode::kFMin:
+            fp[u.def] = std::fmin(fp[u.a], fp[u.b]);
+            break;
+          case Opcode::kFMax:
+            fp[u.def] = std::fmax(fp[u.a], fp[u.b]);
+            break;
+          case Opcode::kFNeg:
+            fp[u.def] = -fp[u.a];
+            break;
+          case Opcode::kFAbs:
+            fp[u.def] = std::fabs(fp[u.a]);
+            break;
+          case Opcode::kFSqrt:
+            fp[u.def] = std::sqrt(fp[u.a]);
+            break;
+          case Opcode::kFCmpEq:
+            pr[u.def] = fp[u.a] == fp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kFCmpLt:
+            pr[u.def] = fp[u.a] < fp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kFCmpLe:
+            pr[u.def] = fp[u.a] <= fp[u.b] ? 1 : 0;
+            break;
+          case Opcode::kI2F:
+            fp[u.def] = static_cast<double>(gp[u.a]);
+            break;
+          case Opcode::kF2I: {
+            const double value = fp[u.a];
+            if (!std::isfinite(value) || value >= 9.2233720368547758e18 ||
+                value < -9.2233720368547758e18) {
+              throw TrapError{TrapKind::kBadConversion, 0};
+            }
+            gp[u.def] = static_cast<std::int64_t>(value);
+            break;
+          }
+          case Opcode::kLoad: {
+            const std::uint64_t address =
+                static_cast<std::uint64_t>(gp[u.a]) +
+                static_cast<std::uint64_t>(u.imm);
+            addr[node] = address;
+            ++stats.memAccesses;
+            gp[u.def] = static_cast<std::int64_t>(memory.readU64(address));
+            break;
+          }
+          case Opcode::kLoadB: {
+            const std::uint64_t address =
+                static_cast<std::uint64_t>(gp[u.a]) +
+                static_cast<std::uint64_t>(u.imm);
+            addr[node] = address;
+            ++stats.memAccesses;
+            gp[u.def] = memory.readU8(address);
+            break;
+          }
+          case Opcode::kStore: {
+            const std::uint64_t address =
+                static_cast<std::uint64_t>(gp[u.a]) +
+                static_cast<std::uint64_t>(u.imm);
+            addr[node] = address;
+            ++stats.memAccesses;
+            memory.writeU64(address, static_cast<std::uint64_t>(gp[u.b]));
+            break;
+          }
+          case Opcode::kStoreB: {
+            const std::uint64_t address =
+                static_cast<std::uint64_t>(gp[u.a]) +
+                static_cast<std::uint64_t>(u.imm);
+            addr[node] = address;
+            ++stats.memAccesses;
+            memory.writeU8(address, static_cast<std::uint8_t>(gp[u.b]));
+            break;
+          }
+          case Opcode::kFLoad: {
+            const std::uint64_t address =
+                static_cast<std::uint64_t>(gp[u.a]) +
+                static_cast<std::uint64_t>(u.imm);
+            addr[node] = address;
+            ++stats.memAccesses;
+            fp[u.def] = memory.readF64(address);
+            break;
+          }
+          case Opcode::kFStore: {
+            const std::uint64_t address =
+                static_cast<std::uint64_t>(gp[u.a]) +
+                static_cast<std::uint64_t>(u.imm);
+            addr[node] = address;
+            ++stats.memAccesses;
+            memory.writeF64(address, fp[u.b]);
+            break;
+          }
+          case Opcode::kCheckG:
+            if (gp[u.a] != gp[u.b]) {
+              throw DetectedSignal{};
+            }
+            break;
+          case Opcode::kCheckF:
+            // Bit-pattern compare: NaN-safe, sensitive to every flipped bit.
+            if (std::bit_cast<std::uint64_t>(fp[u.a]) !=
+                std::bit_cast<std::uint64_t>(fp[u.b])) {
+              throw DetectedSignal{};
+            }
+            break;
+          case Opcode::kCheckP:
+            if (pr[u.a] != pr[u.b]) {
+              throw DetectedSignal{};
+            }
+            break;
+          case Opcode::kFCmpNeBits:
+            pr[u.def] = std::bit_cast<std::uint64_t>(fp[u.a]) !=
+                                std::bit_cast<std::uint64_t>(fp[u.b])
+                            ? 1
+                            : 0;
+            break;
+          case Opcode::kTrapIf:
+            if (pr[u.a] != 0) {
+              throw DetectedSignal{};
+            }
+            break;
+          case Opcode::kBr:
+            next = u.t1;
+            break;
+          case Opcode::kBrCond:
+            next = pr[u.a] != 0 ? u.t1 : u.t2;
+            break;
+          case Opcode::kCall: {
+            runFunction(u.t1, u.a, u.b, self, u.c, u.defCount, depth + 1);
+            gp = gpStack.data() + self.gp;
+            fp = fpStack.data() + self.fp;
+            pr = prStack.data() + self.pr;
+            break;
+          }
+          case Opcode::kRet: {
+            if (retCount != kDiscardReturns) {
+              CASTED_CHECK(u.b == retCount)
+                  << "@" << fn.name << " returned " << u.b
+                  << " values, caller expects " << retCount;
+              for (std::uint32_t i = 0; i < u.b; ++i) {
+                writeBits(caller, prog.pool()[retPool + i],
+                          readBits(self, prog.pool()[u.a + i]));
+              }
+            }
+            returned = true;
+            break;
+          }
+          case Opcode::kHalt:
+            chargeBlockTiming(fn, blk);
+            throw HaltSignal{gp[u.a]};
+          case Opcode::kOpcodeCount:
+            CASTED_UNREACHABLE("bad opcode");
+        }
+        // Def bookkeeping + fault injection, shared by every def-producing
+        // opcode including calls (whose defs were just written back).
+        if (u.defCount != 0) {
+          ++stats.dynamicDefInsns;
+          if (defOrdinal == nextFaultOrdinal) {
+            injectFault(u, self);
+          }
+          ++defOrdinal;
+        }
+      }
+      chargeBlockTiming(fn, blk);
+      if (returned) {
+        break;
+      }
+      CASTED_CHECK(next != ir::kInvalidBlock)
+          << "block bb" << current << " of @" << fn.name
+          << " fell through without a branch";
+      current = next;
+    }
+    gpStack.resize(self.gp);
+    fpStack.resize(self.fp);
+    prStack.resize(self.pr);
+  }
+
+  RunResult run() {
+    RunResult result;
+    try {
+      runFunction(prog.entryFunction(), 0, 0, FrameBase{}, 0,
+                  kDiscardReturns, 0);
+      // Entry returned without halting: a clean exit with code 0.
+      result.exit = ExitKind::kHalted;
+      result.exitCode = 0;
+    } catch (const HaltSignal& halt) {
+      result.exit = ExitKind::kHalted;
+      result.exitCode = halt.exitCode;
+    } catch (const DetectedSignal&) {
+      result.exit = ExitKind::kDetected;
+    } catch (const TrapError& trap) {
+      result.exit = ExitKind::kException;
+      result.trap = trap.kind;
+    } catch (const TimeoutSignal&) {
+      result.exit = ExitKind::kTimeout;
+    }
+    for (int level = 0; level < 3; ++level) {
+      stats.cacheLevel[level] = caches.levelStats(level);
+    }
+    stats.memoryAccesses = caches.memoryAccesses();
+    result.stats = stats;
+    for (const ir::GlobalSymbol& sym : prog.symbols()) {
+      if (sym.name == options->outputSymbol) {
+        result.output = memory.snapshot(sym.address, sym.size);
+        break;
+      }
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+struct DecodedRunner::Impl {
+  Interp interp;
+  explicit Impl(const DecodedProgram& program) : interp(program) {}
+};
+
+DecodedRunner::DecodedRunner(const DecodedProgram& program)
+    : impl_(std::make_unique<Impl>(program)) {}
+
+DecodedRunner::~DecodedRunner() = default;
+
+RunResult DecodedRunner::run(const SimOptions& options) {
+  impl_->interp.reset(options);
+  return impl_->interp.run();
+}
+
+RunResult runDecoded(const DecodedProgram& program, const SimOptions& options) {
+  Interp engine(program);
+  engine.reset(options);
+  return engine.run();
+}
+
+}  // namespace casted::sim

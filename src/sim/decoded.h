@@ -1,0 +1,162 @@
+// The decoded execution engine: a one-time per-program decode pass that
+// flattens each function into dense micro-op arrays so the hot trial loop of
+// the fault campaign never touches ir::Instruction again.
+//
+// What the decode resolves statically (all of which the reference walk in
+// simulator.cpp re-derives on every visit):
+//   * operands — frame-slot offsets held inline in the micro-op (the IR
+//     stores defs/uses in per-instruction heap vectors);
+//   * branch targets — block indices, ready to index the block array;
+//   * per-block timing — the schedule length plus the cycle-sorted memory
+//     bundle plan (which memory ops overlap their misses), precomputed from
+//     the static VLIW schedule;
+//   * call/ret marshalling — operand lists resolved into a shared pool so a
+//     call copies register bits caller→callee frame without RawValue boxing.
+//
+// A DecodedProgram is immutable and self-contained (it copies the global
+// image, symbol table and cache geometry), so fault::runCampaign builds it
+// once and shares it read-only across all worker threads.
+//
+// Equivalence contract: for every program, schedule, machine and fault plan,
+// runDecoded() must produce a RunResult field-for-field identical to the
+// reference walk — cycles, stalls, instruction/def counts, cache hit/miss
+// counts, trap kind, exit code and output snapshot.
+// tests/engine_differential_test.cpp enforces this over random programs and
+// random fault plans; when the two engines disagree, the reference walk is
+// the oracle and the decoded engine is wrong.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/machine_config.h"
+#include "ir/function.h"
+#include "sched/schedule.h"
+#include "sim/run_result.h"
+
+namespace casted::sim {
+
+struct SimOptions;
+
+// A register operand resolved to its frame slot (used for the variable-arity
+// operand lists of calls and returns, and for fault-injection targets).
+struct DecodedReg {
+  std::uint8_t cls = 0;  // raw ir::RegClass
+  std::uint32_t slot = 0;
+};
+
+// One decoded instruction.  Fixed-arity operands live inline; kCall/kRet
+// index the DecodedProgram operand pool.  Field usage by opcode:
+//   * fixed arity: def/a/b/c are frame slots, imm the immediate (kFMovImm
+//     keeps its double bit-cast into imm);
+//   * kBr/kBrCond: t1 = taken target, t2 = not-taken target;
+//   * kCall: t1 = callee function index, a = pool offset of the argument
+//     list, b = argument count, c = pool offset of the return-def list,
+//     defCount = return-def count;
+//   * kRet: a = pool offset of the returned-value list, b = its count.
+struct MicroOp {
+  ir::Opcode op = ir::Opcode::kNop;
+  std::uint8_t defClass = 0;   // raw ir::RegClass of defs[0] (defCount == 1)
+  std::uint16_t defCount = 0;
+  std::uint32_t def = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t t1 = 0;
+  std::uint32_t t2 = 0;
+  std::int64_t imm = 0;
+};
+
+// Static per-block data: the micro-op range plus the precomputed timing
+// summary (schedule length, cycle-sorted memory plan and its same-cycle
+// bundle partition).
+struct DecodedBlock {
+  std::uint32_t firstOp = 0;
+  std::uint32_t opCount = 0;
+  std::uint32_t schedLength = 0;   // BlockSchedule::length
+  std::uint32_t planFirst = 0;     // into DecodedFunction::memPlan
+  std::uint32_t planCount = 0;
+  std::uint32_t bundleFirst = 0;   // into DecodedFunction::bundleSizes
+  std::uint32_t bundleCount = 0;
+};
+
+struct DecodedFunction {
+  std::string name;
+  std::vector<MicroOp> ops;           // blocks flattened back to back
+  std::vector<DecodedBlock> blocks;
+  // Memory-op node indices in the exact cache-access order of the reference
+  // walk (sorted by issue cycle with the reference's own comparator), and
+  // the sizes of the same-cycle bundles partitioning that order.
+  std::vector<std::uint32_t> memPlan;
+  std::vector<std::uint32_t> bundleSizes;
+  std::vector<DecodedReg> params;
+  std::uint32_t regCount[3] = {0, 0, 0};  // frame slots per register class
+};
+
+// The immutable product of the decode pass.  Build once, run many times,
+// share freely across threads.
+class DecodedProgram {
+ public:
+  // `schedule` must have been produced from `program` with `config`, exactly
+  // as for the reference Simulator.
+  static DecodedProgram build(const ir::Program& program,
+                              const sched::ProgramSchedule& schedule,
+                              const arch::MachineConfig& config);
+
+  const std::vector<DecodedFunction>& functions() const { return funcs_; }
+  const std::vector<DecodedReg>& pool() const { return pool_; }
+  std::uint32_t entryFunction() const { return entry_; }
+  const std::vector<ir::GlobalSymbol>& symbols() const { return symbols_; }
+  const std::vector<std::uint8_t>& globalImage() const { return globalImage_; }
+  const arch::CacheConfig& cacheConfig() const { return cacheConfig_; }
+  std::uint32_t memBaseLatency() const { return memBaseLatency_; }
+  std::size_t maxBlockInsns() const { return maxBlockInsns_; }
+
+ private:
+  DecodedProgram() = default;
+
+  std::vector<DecodedFunction> funcs_;
+  std::vector<DecodedReg> pool_;
+  std::uint32_t entry_ = 0;
+  std::vector<ir::GlobalSymbol> symbols_;
+  std::vector<std::uint8_t> globalImage_;
+  arch::CacheConfig cacheConfig_;
+  std::uint32_t memBaseLatency_ = 1;
+  std::size_t maxBlockInsns_ = 0;
+};
+
+// A reusable execution context over one DecodedProgram: the memory image,
+// cache hierarchy and register arenas are allocated once and recycled
+// between runs in O(state the previous run touched) — epoch-invalidated
+// caches, write-log-restored memory — rather than O(arena size).  This is
+// what makes the campaign's trial loop fast: a Monte Carlo trial executes
+// ~10^4 instructions, while rebuilding megabytes of image and way arrays
+// per trial costs as much as running them.  Each campaign worker owns one
+// runner; a runner is single-threaded, the shared DecodedProgram read-only.
+class DecodedRunner {
+ public:
+  explicit DecodedRunner(const DecodedProgram& program);
+  ~DecodedRunner();
+
+  DecodedRunner(const DecodedRunner&) = delete;
+  DecodedRunner& operator=(const DecodedRunner&) = delete;
+
+  // Executes the program once under `options`.  Every run starts from the
+  // same architectural state as a fresh context (the equivalence contract
+  // holds run by run, regardless of what ran before).
+  RunResult run(const SimOptions& options);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Executes a decoded program to completion in a fresh context.
+// `options.faultPlan`, `maxCycles`, `heapBytes`, `maxCallDepth` and
+// `outputSymbol` behave exactly as in the reference engine;
+// `options.engine` is ignored (this IS the decoded engine).
+RunResult runDecoded(const DecodedProgram& program, const SimOptions& options);
+
+}  // namespace casted::sim

@@ -24,53 +24,28 @@ const char* trapKindName(TrapKind kind) {
   CASTED_UNREACHABLE("bad TrapKind");
 }
 
-Memory::Memory(const ir::Program& program, std::uint64_t heapBytes) {
-  bytes_ = program.globalImage();
+Memory::Memory(const ir::Program& program, std::uint64_t heapBytes)
+    : Memory(program.globalImage(), heapBytes) {}
+
+Memory::Memory(const std::vector<std::uint8_t>& globalImage,
+               std::uint64_t heapBytes) {
+  bytes_ = globalImage;
   bytes_.resize(bytes_.size() + heapBytes, 0);
 }
 
-std::size_t Memory::checkRange(std::uint64_t address,
-                               std::uint32_t width) const {
-  if (address < ir::Program::kGlobalBase ||
-      address + width > arenaEnd() || address + width < address) {
-    throw TrapError{TrapKind::kBadAddress, address};
+void Memory::enableWriteLog() {
+  logging_ = true;
+  log_.clear();
+}
+
+void Memory::resetLogged(const std::vector<std::uint8_t>& pristine) {
+  for (const WriteRecord& record : log_) {
+    for (std::uint32_t i = 0; i < record.width; ++i) {
+      const std::size_t offset = record.offset + i;
+      bytes_[offset] = offset < pristine.size() ? pristine[offset] : 0;
+    }
   }
-  if (width == 8 && (address & 7) != 0) {
-    throw TrapError{TrapKind::kMisaligned, address};
-  }
-  return static_cast<std::size_t>(address - ir::Program::kGlobalBase);
-}
-
-std::uint64_t Memory::readU64(std::uint64_t address) const {
-  const std::size_t offset = checkRange(address, 8);
-  std::uint64_t value;
-  std::memcpy(&value, bytes_.data() + offset, 8);
-  return value;
-}
-
-std::uint8_t Memory::readU8(std::uint64_t address) const {
-  return bytes_[checkRange(address, 1)];
-}
-
-double Memory::readF64(std::uint64_t address) const {
-  const std::size_t offset = checkRange(address, 8);
-  double value;
-  std::memcpy(&value, bytes_.data() + offset, 8);
-  return value;
-}
-
-void Memory::writeU64(std::uint64_t address, std::uint64_t value) {
-  const std::size_t offset = checkRange(address, 8);
-  std::memcpy(bytes_.data() + offset, &value, 8);
-}
-
-void Memory::writeU8(std::uint64_t address, std::uint8_t value) {
-  bytes_[checkRange(address, 1)] = value;
-}
-
-void Memory::writeF64(std::uint64_t address, double value) {
-  const std::size_t offset = checkRange(address, 8);
-  std::memcpy(bytes_.data() + offset, &value, 8);
+  log_.clear();
 }
 
 std::vector<std::uint8_t> Memory::snapshot(std::uint64_t address,

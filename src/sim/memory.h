@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "ir/function.h"
@@ -39,26 +40,89 @@ class Memory {
   // after the globals.
   Memory(const ir::Program& program, std::uint64_t heapBytes);
 
+  // Same, from a raw global image (starting at kGlobalBase) — the decoded
+  // engine keeps a copy of the image instead of the ir::Program.
+  Memory(const std::vector<std::uint8_t>& globalImage,
+         std::uint64_t heapBytes);
+
   std::uint64_t arenaEnd() const {
     return ir::Program::kGlobalBase + bytes_.size();
   }
 
-  std::uint64_t readU64(std::uint64_t address) const;
-  std::uint8_t readU8(std::uint64_t address) const;
-  double readF64(std::uint64_t address) const;
-  void writeU64(std::uint64_t address, std::uint64_t value);
-  void writeU8(std::uint64_t address, std::uint8_t value);
-  void writeF64(std::uint64_t address, double value);
+  // Accessors are header-inline: they are the single hottest call sites of
+  // both simulator engines (one per simulated load/store).
+  std::uint64_t readU64(std::uint64_t address) const {
+    const std::size_t offset = checkRange(address, 8);
+    std::uint64_t value;
+    std::memcpy(&value, bytes_.data() + offset, 8);
+    return value;
+  }
+  std::uint8_t readU8(std::uint64_t address) const {
+    return bytes_[checkRange(address, 1)];
+  }
+  double readF64(std::uint64_t address) const {
+    const std::size_t offset = checkRange(address, 8);
+    double value;
+    std::memcpy(&value, bytes_.data() + offset, 8);
+    return value;
+  }
+  void writeU64(std::uint64_t address, std::uint64_t value) {
+    const std::size_t offset = checkRange(address, 8);
+    if (logging_) {
+      log_.push_back({offset, 8});
+    }
+    std::memcpy(bytes_.data() + offset, &value, 8);
+  }
+  void writeU8(std::uint64_t address, std::uint8_t value) {
+    const std::size_t offset = checkRange(address, 1);
+    if (logging_) {
+      log_.push_back({offset, 1});
+    }
+    bytes_[offset] = value;
+  }
+  void writeF64(std::uint64_t address, double value) {
+    const std::size_t offset = checkRange(address, 8);
+    if (logging_) {
+      log_.push_back({offset, 8});
+    }
+    std::memcpy(bytes_.data() + offset, &value, 8);
+  }
 
   // Snapshot of `size` bytes at `address` (bounds-checked) — used to capture
   // the output region for golden comparison.
   std::vector<std::uint8_t> snapshot(std::uint64_t address,
                                      std::uint64_t size) const;
 
+  // Write logging, for contexts that run many programs against the same
+  // image (the decoded engine's per-campaign runners).  With the log on,
+  // every successful write records its (offset, width); resetLogged()
+  // restores exactly those bytes from `pristine` (the global image; bytes
+  // past it are heap and revert to zero) instead of rebuilding the whole
+  // multi-megabyte arena.  Cost is proportional to bytes written by the
+  // run, not to arena size.
+  void enableWriteLog();
+  void resetLogged(const std::vector<std::uint8_t>& pristine);
+
  private:
-  std::size_t checkRange(std::uint64_t address, std::uint32_t width) const;
+  struct WriteRecord {
+    std::size_t offset = 0;
+    std::uint32_t width = 0;
+  };
+
+  std::size_t checkRange(std::uint64_t address, std::uint32_t width) const {
+    if (address < ir::Program::kGlobalBase || address + width > arenaEnd() ||
+        address + width < address) {
+      throw TrapError{TrapKind::kBadAddress, address};
+    }
+    if (width == 8 && (address & 7) != 0) {
+      throw TrapError{TrapKind::kMisaligned, address};
+    }
+    return static_cast<std::size_t>(address - ir::Program::kGlobalBase);
+  }
 
   std::vector<std::uint8_t> bytes_;  // starts at kGlobalBase
+  std::vector<WriteRecord> log_;
+  bool logging_ = false;
 };
 
 }  // namespace casted::sim

@@ -4,9 +4,20 @@
 #include <cstring>
 #include <limits>
 
+#include "sim/decoded.h"
 #include "support/check.h"
 
 namespace casted::sim {
+
+const char* engineName(Engine engine) {
+  switch (engine) {
+    case Engine::kDecoded:
+      return "decoded";
+    case Engine::kReference:
+      return "reference";
+  }
+  CASTED_UNREACHABLE("bad Engine");
+}
 
 const char* exitKindName(ExitKind kind) {
   switch (kind) {
@@ -732,11 +743,22 @@ struct Simulator::Impl {
 Simulator::Simulator(const ir::Program& program,
                      const sched::ProgramSchedule& schedule,
                      const arch::MachineConfig& config, SimOptions options)
-    : impl_(new Impl(program, schedule, config, std::move(options))) {}
+    : program_(program),
+      schedule_(schedule),
+      config_(config),
+      options_(std::move(options)) {}
 
-Simulator::~Simulator() { delete impl_; }
+Simulator::~Simulator() = default;
 
-RunResult Simulator::run() { return impl_->run(); }
+RunResult Simulator::run() {
+  if (options_.engine == Engine::kDecoded) {
+    const DecodedProgram decoded =
+        DecodedProgram::build(program_, schedule_, config_);
+    return runDecoded(decoded, options_);
+  }
+  Impl impl(program_, schedule_, config_, options_);
+  return impl.run();
+}
 
 RunResult simulate(const ir::Program& program,
                    const sched::ProgramSchedule& schedule,

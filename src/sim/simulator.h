@@ -1,5 +1,15 @@
 // The clustered-VLIW simulator (our stand-in for the paper's modified SKI).
 //
+// Two interchangeable engines execute a program:
+//   * kDecoded (default) — runs the flat pre-decoded micro-op arrays of
+//     sim::DecodedProgram (see decoded.h), the fast path the Monte Carlo
+//     campaigns use;
+//   * kReference — the original IR-walking interpreter below, kept as the
+//     behavioural oracle the decoded engine is differentially tested
+//     against (tests/engine_differential_test.cpp).
+// Both engines are required to produce field-for-field identical RunResults
+// for every program, schedule, machine and fault plan.
+//
 // Execution is split in two coupled walks per basic-block execution:
 //   * a functional walk in program order — computes values, follows calls
 //     and branches, performs memory reads/writes, fires CHECKs, raises
@@ -25,12 +35,21 @@
 
 namespace casted::sim {
 
+// Which interpreter executes the program.
+enum class Engine : std::uint8_t {
+  kDecoded,    // flat micro-op arrays (fast path; see decoded.h)
+  kReference,  // the original IR-walking interpreter (the oracle)
+};
+
+const char* engineName(Engine engine);
+
 struct SimOptions {
   std::uint64_t heapBytes = 1 << 20;   // zeroed scratch after the globals
   std::uint64_t maxCycles = ~0ULL;     // watchdog (timeout outcome)
   std::uint32_t maxCallDepth = 256;
   std::string outputSymbol = "output"; // snapshot target for classification
   const FaultPlan* faultPlan = nullptr;
+  Engine engine = Engine::kDecoded;
 };
 
 class Simulator {
@@ -44,12 +63,16 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  // Executes the program from its entry function to completion.
+  // Executes the program from its entry function to completion with the
+  // engine selected by `options.engine`.
   RunResult run();
 
  private:
   struct Impl;
-  Impl* impl_;
+  const ir::Program& program_;
+  const sched::ProgramSchedule& schedule_;
+  const arch::MachineConfig& config_;
+  SimOptions options_;
 };
 
 // Convenience wrapper: schedule + simulate in one call.

@@ -70,4 +70,14 @@ bool Rng::nextBool(double p) { return nextDouble() < p; }
 
 Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+std::uint64_t deriveStreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 step: advance the state by (stream + 1) golden-ratio strides,
+  // then run the output finalizer.  +1 keeps stream 0 from collapsing to the
+  // bare seed.
+  std::uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace casted

@@ -44,4 +44,13 @@ class Rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+// Derives the seed for sub-stream `stream` of `seed` with a SplitMix64 mix
+// (golden-ratio stride + finalizer).  Use this — not `seed ^ stream` or
+// `seed + stream` — wherever many generators are forked from one master
+// seed: the raw combinations collide across nearby master seeds (seed A,
+// stream i and seed B, stream j coincide whenever A^i == B^j), whereas the
+// mixed value decorrelates every (seed, stream) pair.  The fault campaign
+// seeds each trial's Rng with deriveStreamSeed(seed, trialIndex).
+std::uint64_t deriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace casted

@@ -60,16 +60,36 @@ TEST(ParallelCampaignTest, MoreThreadsThanTrialsStillCountsEveryTrial) {
 }
 
 TEST(ParallelCampaignTest, DifferentSeedsDiffer) {
-  // Sanity that the per-trial seeding actually varies the trials.  The
-  // seeds must differ above the trial-index bits: `seed ^ trialIndex` with
-  // two small seeds runs the same *set* of trial RNGs in a different order,
-  // and counts are order-independent by design.
+  // Sanity that the per-trial seeding actually varies the trials.  Since
+  // trial seeds come from deriveStreamSeed (a SplitMix64 mix), even
+  // adjacent master seeds yield disjoint trial-RNG sets — see
+  // campaign_oracle_test for the direct regression on the derivation.
   const workloads::Workload wl = workloads::makeH263dec(1);
   const core::CompiledProgram bin = core::compile(
       wl.program, testutil::machine(2, 2), Scheme::kNoed);
   const CoverageReport a = runWithThreads(bin, 4, 0xCA57EDu);
-  const CoverageReport b = runWithThreads(bin, 4, 0xB00000u);
+  const CoverageReport b = runWithThreads(bin, 4, 0xCA57ECu);
   EXPECT_NE(a.counts, b.counts);
+}
+
+TEST(ParallelCampaignTest, ReferenceEngineMatchesDecodedAcrossThreads) {
+  // The campaign report must not depend on which engine ran the trials any
+  // more than on the thread count.
+  const core::CompiledProgram bin =
+      core::compile(testutil::makeLoopProgram(32), testutil::machine(2, 1),
+                    Scheme::kDced);
+  CampaignOptions options;
+  options.trials = 40;
+  options.threads = 1;
+  const CoverageReport decoded = core::campaign(bin, options);
+  options.simOptions.engine = sim::Engine::kReference;
+  for (const std::uint32_t threads : {1u, 4u}) {
+    options.threads = threads;
+    const CoverageReport reference = core::campaign(bin, options);
+    EXPECT_EQ(decoded.counts, reference.counts) << "threads " << threads;
+    EXPECT_EQ(decoded.dynamicInsns, reference.dynamicInsns)
+        << "threads " << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,149 @@
+// Differential property test: the decoded engine (sim::Engine::kDecoded)
+// must produce field-for-field identical RunResults to the reference
+// IR-walking interpreter (sim::Engine::kReference) — same exit kind, trap,
+// exit code, output snapshot, and every statistic down to per-cache-level
+// hit/miss counts — for every program, schedule, machine and fault plan.
+//
+// The corpus is random CFG programs compiled under all four schemes (NOED /
+// SCED / DCED / CASTED, so CHECK instructions, duplicated code and cluster
+// assignment are all exercised), plus straight-line programs and the
+// call-heavy paper workloads.  Each compiled binary runs fault-free and
+// under several random fault plans (covering detected / trapped / corrupt /
+// timeout paths).  CASTED_TEST_TRIALS caps the corpus size in CI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "fault/campaign.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "test_util.h"
+#include "workloads/workloads.h"
+
+namespace casted::sim {
+namespace {
+
+using passes::Scheme;
+
+// Compares every observable field of two RunResults.  Any mismatch is an
+// equivalence-contract violation; `context` says which program/plan failed.
+void expectIdentical(const RunResult& ref, const RunResult& dec,
+                     const std::string& context) {
+  EXPECT_EQ(static_cast<int>(ref.exit), static_cast<int>(dec.exit)) << context;
+  EXPECT_EQ(static_cast<int>(ref.trap), static_cast<int>(dec.trap)) << context;
+  EXPECT_EQ(ref.exitCode, dec.exitCode) << context;
+  EXPECT_EQ(ref.output, dec.output) << context;
+  EXPECT_EQ(ref.stats.cycles, dec.stats.cycles) << context;
+  EXPECT_EQ(ref.stats.stallCycles, dec.stats.stallCycles) << context;
+  EXPECT_EQ(ref.stats.dynamicInsns, dec.stats.dynamicInsns) << context;
+  EXPECT_EQ(ref.stats.dynamicDefInsns, dec.stats.dynamicDefInsns) << context;
+  EXPECT_EQ(ref.stats.blockExecutions, dec.stats.blockExecutions) << context;
+  EXPECT_EQ(ref.stats.memAccesses, dec.stats.memAccesses) << context;
+  EXPECT_EQ(ref.stats.memoryAccesses, dec.stats.memoryAccesses) << context;
+  for (int level = 0; level < 3; ++level) {
+    EXPECT_EQ(ref.stats.cacheLevel[level].hits,
+              dec.stats.cacheLevel[level].hits)
+        << context << " L" << (level + 1);
+    EXPECT_EQ(ref.stats.cacheLevel[level].misses,
+              dec.stats.cacheLevel[level].misses)
+        << context << " L" << (level + 1);
+  }
+}
+
+// Runs one compiled binary through both engines, fault-free and under
+// `faultTrials` random fault plans, demanding identical results each time.
+void runDifferential(const core::CompiledProgram& bin,
+                     const std::string& label, std::uint64_t faultSeed,
+                     std::size_t faultTrials) {
+  SimOptions refOptions;
+  refOptions.engine = Engine::kReference;
+  SimOptions decOptions;
+  decOptions.engine = Engine::kDecoded;
+
+  const RunResult refGolden =
+      simulate(bin.program, bin.schedule, bin.machine, refOptions);
+  const RunResult decGolden =
+      simulate(bin.program, bin.schedule, bin.machine, decOptions);
+  expectIdentical(refGolden, decGolden, label + " fault-free");
+  if (refGolden.exit != ExitKind::kHalted ||
+      refGolden.stats.dynamicDefInsns == 0) {
+    return;  // no fault-target population to draw from
+  }
+
+  for (std::size_t trial = 0; trial < faultTrials; ++trial) {
+    Rng rng(deriveStreamSeed(faultSeed, trial));
+    const FaultPlan plan =
+        fault::makeTrialPlan(rng, refGolden.stats.dynamicDefInsns, 0);
+    refOptions.faultPlan = &plan;
+    decOptions.faultPlan = &plan;
+    // Tight watchdog so fault-induced runaways exercise the timeout path.
+    refOptions.maxCycles = refGolden.stats.cycles * 20;
+    decOptions.maxCycles = refGolden.stats.cycles * 20;
+    std::ostringstream context;
+    context << label << " fault trial " << trial << " (ordinal "
+            << plan.points.front().ordinal << ", whichDef "
+            << plan.points.front().whichDef << ", bit "
+            << plan.points.front().bit << ")";
+    expectIdentical(
+        simulate(bin.program, bin.schedule, bin.machine, refOptions),
+        simulate(bin.program, bin.schedule, bin.machine, decOptions),
+        context.str());
+  }
+}
+
+TEST(EngineDifferentialTest, RandomCfgProgramsAllSchemes) {
+  // 50 seeds x 4 schemes = 200 compiled programs by default; each also runs
+  // 3 fault trials, so the contract is checked on ~800 executions.
+  const std::size_t seeds = testutil::testTrials(50);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    const ir::Program source = testutil::makeRandomCfgProgram(seed);
+    const arch::MachineConfig config =
+        testutil::machine(2, seed % 2 == 0 ? 1 : 2);
+    for (const Scheme scheme : passes::kAllSchemes) {
+      const core::CompiledProgram bin =
+          core::compile(source, config, scheme);
+      std::ostringstream label;
+      label << "cfg seed " << seed << " " << passes::schemeName(scheme);
+      runDifferential(bin, label.str(), /*faultSeed=*/seed * 977 + 13,
+                      /*faultTrials=*/3);
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, StraightLineAndLoopPrograms) {
+  const std::size_t seeds = testutil::testTrials(20);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    const ir::Program source =
+        testutil::makeRandomStraightLine(seed, 12 + seed % 20);
+    const core::CompiledProgram bin =
+        core::compile(source, testutil::machine(4, 1), Scheme::kCasted);
+    runDifferential(bin, "straight seed " + std::to_string(seed),
+                    /*faultSeed=*/seed, /*faultTrials=*/2);
+  }
+  const core::CompiledProgram loop =
+      core::compile(testutil::makeLoopProgram(64), testutil::machine(2, 1),
+                    Scheme::kDced);
+  runDifferential(loop, "loop64", /*faultSeed=*/0xF00D, /*faultTrials=*/8);
+}
+
+TEST(EngineDifferentialTest, PaperWorkloadsWithCallsAndFloat) {
+  // The workloads exercise what the random generators do not: function
+  // calls (frame push/pop, return-value plumbing), floating point, and
+  // non-trivial memory traffic through the cache hierarchy.
+  const std::size_t count = testutil::testTrials(7);
+  const std::vector<workloads::Workload> all = workloads::makeAllWorkloads(1);
+  for (std::size_t i = 0; i < count && i < all.size(); ++i) {
+    for (const Scheme scheme : {Scheme::kNoed, Scheme::kCasted}) {
+      const core::CompiledProgram bin =
+          core::compile(all[i].program, testutil::machine(2, 2), scheme);
+      runDifferential(bin, all[i].name + " " + passes::schemeName(scheme),
+                      /*faultSeed=*/0xCA57ED00 + i, /*faultTrials=*/4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casted::sim

@@ -1,7 +1,9 @@
 // Shared helpers for the CASTED test suite.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "arch/machine_config.h"
@@ -10,6 +12,20 @@
 #include "support/rng.h"
 
 namespace casted::testutil {
+
+// Corpus size for property tests: `full` by default, capped by the
+// CASTED_TEST_TRIALS environment variable when set.  CI exports a small cap
+// (see .github/workflows/ci.yml) so the slow-labelled suites stay fast
+// there while local runs keep full coverage.
+inline std::size_t testTrials(std::size_t full) {
+  if (const char* env = std::getenv("CASTED_TEST_TRIALS")) {
+    const long cap = std::strtol(env, nullptr, 10);
+    if (cap > 0) {
+      return std::min(full, static_cast<std::size_t>(cap));
+    }
+  }
+  return full;
+}
 
 // A minimal program:
 //   out[0] = (a + b) * 3   (a, b loaded from "input")
