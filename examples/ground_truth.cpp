@@ -1,0 +1,76 @@
+// Example: exhaustive ground truth instead of Monte Carlo sampling.
+//
+// The fault campaign (fault_campaign.cpp) samples the fault space; on small
+// workloads the space is small enough to enumerate COMPLETELY — every
+// dynamic def, every output register, every bit, injected exactly once.
+// That gives exact outcome fractions (no sampling error), the exact
+// distribution the campaign converges to, and a per-static-instruction
+// ranking of where silent data corruption actually leaks — which this
+// example prints next to the ProtectionLint's static verdicts so the two
+// views of "where are the gaps" can be compared directly.
+//
+//   ./build/examples/ground_truth [workload] [scheme] [threads]
+//   e.g. ./build/examples/ground_truth parser casted 0
+#include <strings.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/pipeline.h"
+#include "passes/protection_lint.h"
+#include "support/statistics.h"
+#include "support/table.h"
+#include "workloads/workloads.h"
+
+using namespace casted;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "parser";
+  passes::Scheme scheme = passes::Scheme::kCasted;
+  if (argc > 2) {
+    bool found = false;
+    for (const passes::Scheme candidate : passes::kAllSchemes) {
+      if (strcasecmp(argv[2], passes::schemeName(candidate)) == 0) {
+        scheme = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown scheme '%s'\n", argv[2]);
+      return 1;
+    }
+  }
+  const std::uint32_t threads =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 0;
+
+  const workloads::Workload wl = workloads::makeWorkload(name, 1);
+  const arch::MachineConfig machine = arch::makePaperMachine(2, 2);
+  const core::CompiledProgram bin =
+      core::compile(wl.program, machine, scheme);
+
+  // The static view: what the lint claims about every def site.
+  std::printf("== static protection lint (%s, %s)\n", wl.name.c_str(),
+              passes::schemeName(scheme));
+  const passes::ProtectionLintResult lint =
+      passes::lintProtection(bin.program, scheme);
+  std::printf("%s\n", lint.toString(/*gapsOnly=*/true).c_str());
+
+  // The dynamic view: inject every site once and classify it.
+  fault::ExhaustiveOptions options;
+  options.threads = threads;
+  const fault::GroundTruthReport truth = core::groundTruth(bin, options);
+  std::printf("== exhaustive ground truth\n%s\n",
+              truth.toString(/*topInsns=*/10).c_str());
+
+  std::printf(
+      "Exact SDC probability of one random flip: %s (safe %s).\n"
+      "A Monte Carlo campaign with originalDefInsns=0 converges to exactly\n"
+      "these fractions; tests/exhaustive_ground_truth_test.cpp holds it to\n"
+      "the 99%% Wilson interval, and every site the lint cleared above is\n"
+      "guaranteed to show zero data-corrupt sites here.\n",
+      formatPercent(truth.mcProbabilityOf(fault::Outcome::kDataCorrupt))
+          .c_str(),
+      formatPercent(truth.mcSafeProbability()).c_str());
+  return 0;
+}

@@ -22,6 +22,9 @@ pm::PassManager buildPipeline(passes::Scheme scheme,
     manager.emplacePass<passes::DcePass>(options.lateOpts);
   }
   manager.emplacePass<passes::AssignmentPass>(scheme);
+  if (options.runProtectionLint) {
+    manager.emplacePass<passes::ProtectionLintPass>(scheme);
+  }
   return manager;
 }
 
@@ -66,6 +69,13 @@ fault::CoverageReport campaign(const CompiledProgram& compiled,
   return fault::runCampaign(compiled.program, compiled.schedule,
                             compiled.machine, options,
                             compiled.decoded.get());
+}
+
+fault::GroundTruthReport groundTruth(const CompiledProgram& compiled,
+                                     const fault::ExhaustiveOptions& options) {
+  return fault::enumerateFaultSpace(compiled.program, compiled.schedule,
+                                    compiled.machine, options,
+                                    compiled.decoded.get());
 }
 
 }  // namespace casted::core

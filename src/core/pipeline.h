@@ -21,11 +21,13 @@
 
 #include "arch/machine_config.h"
 #include "fault/campaign.h"
+#include "fault/exhaustive.h"
 #include "ir/function.h"
 #include "passes/assignment.h"
 #include "passes/early_opts.h"
 #include "passes/error_detection.h"
 #include "passes/late_opts.h"
+#include "passes/protection_lint.h"
 #include "passes/scheme.h"
 #include "passes/spill.h"
 #include "pm/pass_manager.h"
@@ -53,6 +55,11 @@ struct PipelineOptions {
   // Verify the IR after each transformation (cheap; keep on outside of the
   // inner loops of big sweeps).
   bool verifyAfterPasses = true;
+  // Run the ProtectionLint analysis as the final pipeline stage and surface
+  // its protected / sphere-exit / unprotected counts in the PipelineReport
+  // (e.g. report.stat("protection-lint", "unprotected")).  Analysis-only;
+  // flip off in inner loops of big sweeps.
+  bool runProtectionLint = true;
 };
 
 // A scheduled binary for one (machine, scheme) point.
@@ -102,5 +109,13 @@ sim::RunResult run(const CompiledProgram& compiled,
 // Runs the Monte Carlo fault campaign on a compiled program.
 fault::CoverageReport campaign(const CompiledProgram& compiled,
                                const fault::CampaignOptions& options = {});
+
+// Exhaustively enumerates and classifies the complete fault-site space of a
+// compiled program (the ground truth the campaign samples) — see
+// fault/exhaustive.h.  Only tractable for small workloads; use
+// `options.maxSites` as a guard.
+fault::GroundTruthReport groundTruth(
+    const CompiledProgram& compiled,
+    const fault::ExhaustiveOptions& options = {});
 
 }  // namespace casted::core

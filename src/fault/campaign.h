@@ -52,8 +52,11 @@ struct CoverageReport {
                              static_cast<double>(trials);
   }
   // Detected + exception + benign + timeout, i.e. everything except silent
-  // data corruption.
-  double safeFraction() const { return 1.0 - fraction(Outcome::kDataCorrupt); }
+  // data corruption.  An empty campaign reports 0 (consistent with
+  // fraction(): no trials means no evidence, not perfect safety).
+  double safeFraction() const {
+    return trials == 0 ? 0.0 : 1.0 - fraction(Outcome::kDataCorrupt);
+  }
 };
 
 struct CampaignOptions {
@@ -87,7 +90,13 @@ GoldenProfile profileGolden(const ir::Program& program,
                             const arch::MachineConfig& config,
                             const sim::SimOptions& simOptions);
 
-// Classifies one faulty run against the golden profile.
+// Classifies one faulty run against the golden profile.  Precedence (the
+// run's ExitKind dominates any output comparison):
+//   1. kDetected  — a CHECK fired, even if memory was already corrupted;
+//   2. kException — hardware trap;
+//   3. kTimeout   — watchdog expired;
+//   4. halted runs only: kDataCorrupt when output bytes or the exit code
+//      differ from the golden run, else kBenign.
 Outcome classify(const sim::RunResult& faulty, const GoldenProfile& golden);
 
 // Generates the injection plan for one trial: the number of flips follows

@@ -1,0 +1,299 @@
+#include "fault/exhaustive.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "support/check.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+namespace casted::fault {
+namespace {
+
+// One enumerated static def-producing instruction, resolved from the golden
+// trace: identity plus the per-def enumeration shape shared by all of its
+// dynamic executions.
+struct StaticSite {
+  sim::DefSite site;
+  ir::InsnId insn = ir::kInvalidInsn;
+  std::string text;
+  std::uint32_t defCount = 0;
+  std::uint32_t sitesPerExecution = 0;  // sum over defs of bitsOf(def)
+  std::uint64_t executions = 0;
+  // Monte Carlo weight of (whichDef % defCount == d): the sampler draws
+  // whichDef uniformly in [0, 4), so for defCount == 3 the weights are
+  // non-uniform (2/4, 1/4, 1/4).
+  double defWeight[4] = {0, 0, 0, 0};
+  // Effective bit sites and per-site MC weight for each def: predicate
+  // registers collapse all 64 bit draws onto one flip.
+  std::uint32_t bitsOf[4] = {0, 0, 0, 0};
+};
+
+std::uint32_t effectiveBits(ir::RegClass cls) {
+  return cls == ir::RegClass::kPr ? 1u : 64u;
+}
+
+// Per-worker tally for one static instruction.
+struct Tally {
+  std::array<std::uint64_t, kOutcomeCount> counts = {};
+  std::array<double, kOutcomeCount> mcMass = {};
+};
+
+}  // namespace
+
+const SiteOutcome* GroundTruthReport::find(ir::FuncId func,
+                                           ir::InsnId insn) const {
+  for (const SiteOutcome& entry : perInsn) {
+    if (entry.func == func && entry.insn == insn) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::string GroundTruthReport::toString(std::size_t topInsns) const {
+  std::ostringstream out;
+  out << "exhaustive ground truth: " << sites << " sites over " << defInsns
+      << " dynamic def instructions\n";
+  TextTable outcomes({"outcome", "sites", "site fraction", "MC probability"});
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    const Outcome outcome = static_cast<Outcome>(i);
+    outcomes.addRow({outcomeName(outcome), std::to_string(counts[i]),
+                     formatPercent(fraction(outcome)),
+                     formatPercent(mcProbability[i])});
+  }
+  out << outcomes.render();
+  if (!perInsn.empty() && topInsns > 0) {
+    out << "\nworst static instructions by SDC probability mass:\n";
+    TextTable worst({"func", "block", "instruction", "execs", "SDC sites",
+                     "SDC mass"});
+    std::size_t shown = 0;
+    for (const SiteOutcome& entry : perInsn) {
+      if (shown++ >= topInsns || entry.sdcSites() == 0) {
+        break;
+      }
+      worst.addRow({std::to_string(entry.func), std::to_string(entry.block),
+                    entry.text, std::to_string(entry.executions),
+                    std::to_string(entry.sdcSites()),
+                    formatPercent(entry.sdcMass())});
+    }
+    out << worst.render();
+  }
+  return out.str();
+}
+
+GroundTruthReport enumerateFaultSpace(const ir::Program& program,
+                                      const sched::ProgramSchedule& schedule,
+                                      const arch::MachineConfig& config,
+                                      const ExhaustiveOptions& options,
+                                      const sim::DecodedProgram* decoded) {
+  // Engine selection mirrors runCampaign: decode once, share read-only.
+  std::optional<sim::DecodedProgram> owned;
+  if (options.simOptions.engine == sim::Engine::kDecoded) {
+    if (decoded == nullptr) {
+      owned.emplace(sim::DecodedProgram::build(program, schedule, config));
+      decoded = &*owned;
+    }
+  } else {
+    decoded = nullptr;
+  }
+
+  // Golden run with the def-site trace attached: one DefSite per ordinal.
+  std::vector<sim::DefSite> trace;
+  sim::SimOptions goldenOptions = options.simOptions;
+  goldenOptions.faultPlan = nullptr;
+  goldenOptions.defTrace = &trace;
+  GoldenProfile golden;
+  golden.result = decoded != nullptr
+                      ? sim::runDecoded(*decoded, goldenOptions)
+                      : sim::simulate(program, schedule, config, goldenOptions);
+  CASTED_CHECK(golden.result.exit == sim::ExitKind::kHalted)
+      << "golden run did not halt cleanly ("
+      << sim::exitKindName(golden.result.exit) << ")";
+  golden.defInsns = golden.result.stats.dynamicDefInsns;
+  golden.cycles = golden.result.stats.cycles;
+  CASTED_CHECK(golden.defInsns > 0) << "program executed no instructions";
+  CASTED_CHECK(trace.size() == golden.defInsns)
+      << "def trace length " << trace.size() << " != def count "
+      << golden.defInsns;
+
+  // Resolve the trace into the static site table and the per-ordinal index.
+  std::map<std::array<std::uint32_t, 3>, std::uint32_t> staticIndex;
+  std::vector<StaticSite> statics;
+  std::vector<std::uint32_t> ordinalStatic(trace.size());
+  for (std::size_t ordinal = 0; ordinal < trace.size(); ++ordinal) {
+    const sim::DefSite& site = trace[ordinal];
+    const std::array<std::uint32_t, 3> key = {site.func, site.block,
+                                              site.node};
+    auto [it, inserted] =
+        staticIndex.emplace(key, static_cast<std::uint32_t>(statics.size()));
+    if (inserted) {
+      const ir::Instruction& insn =
+          program.function(site.func).block(site.block).insns()[site.node];
+      CASTED_CHECK(!insn.defs.empty() && insn.defs.size() <= 4)
+          << "traced def site with " << insn.defs.size() << " defs";
+      StaticSite entry;
+      entry.site = site;
+      entry.insn = insn.id;
+      entry.text = insn.toString();
+      entry.defCount = static_cast<std::uint32_t>(insn.defs.size());
+      for (std::uint32_t d = 0; d < entry.defCount; ++d) {
+        entry.bitsOf[d] = effectiveBits(insn.defs[d].cls);
+        entry.sitesPerExecution += entry.bitsOf[d];
+      }
+      for (std::uint32_t w = 0; w < 4; ++w) {
+        entry.defWeight[w % entry.defCount] += 0.25;
+      }
+      statics.push_back(std::move(entry));
+    }
+    ordinalStatic[ordinal] = it->second;
+    ++statics[it->second].executions;
+  }
+
+  std::uint64_t totalSites = 0;
+  for (const StaticSite& entry : statics) {
+    totalSites += entry.executions * entry.sitesPerExecution;
+  }
+  CASTED_CHECK(options.maxSites == 0 || totalSites <= options.maxSites)
+      << "fault space has " << totalSites << " sites, over the maxSites cap "
+      << options.maxSites;
+
+  std::uint32_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<std::uint64_t>(threads,
+                                    std::max<std::uint64_t>(trace.size(), 1));
+
+  // Classifies every site of one dynamic ordinal into `tallies`.  The plan
+  // IS the site — no randomness — so the merged result is independent of
+  // how ordinals are distributed over workers.
+  const double ordinalWeight = 1.0 / static_cast<double>(golden.defInsns);
+  const auto classifyOrdinal = [&](std::uint64_t ordinal,
+                                   sim::SimOptions& simOptions,
+                                   sim::DecodedRunner* runner,
+                                   std::vector<Tally>& tallies) {
+    const StaticSite& entry = statics[ordinalStatic[ordinal]];
+    Tally& tally = tallies[ordinalStatic[ordinal]];
+    sim::FaultPlan plan;
+    plan.points.resize(1);
+    simOptions.faultPlan = &plan;
+    for (std::uint32_t d = 0; d < entry.defCount; ++d) {
+      const double bitWeight =
+          entry.bitsOf[d] == 1 ? 1.0 : 1.0 / 64.0;
+      const double siteWeight = ordinalWeight * entry.defWeight[d] * bitWeight;
+      for (std::uint32_t bit = 0; bit < entry.bitsOf[d]; ++bit) {
+        plan.points[0] = {ordinal, d, bit};
+        const sim::RunResult faulty =
+            runner != nullptr
+                ? runner->run(simOptions)
+                : sim::simulate(program, schedule, config, simOptions);
+        const Outcome outcome = classify(faulty, golden);
+        ++tally.counts[static_cast<int>(outcome)];
+        tally.mcMass[static_cast<int>(outcome)] += siteWeight;
+      }
+    }
+    simOptions.faultPlan = nullptr;
+  };
+
+  sim::SimOptions workerOptions = options.simOptions;
+  workerOptions.maxCycles = golden.cycles * options.timeoutFactor;
+  workerOptions.defTrace = nullptr;
+
+  std::vector<std::vector<Tally>> partial(
+      threads, std::vector<Tally>(statics.size()));
+  if (threads <= 1) {
+    std::optional<sim::DecodedRunner> runner;
+    if (decoded != nullptr) {
+      runner.emplace(*decoded);
+    }
+    sim::SimOptions simOptions = workerOptions;
+    for (std::uint64_t ordinal = 0; ordinal < trace.size(); ++ordinal) {
+      classifyOrdinal(ordinal, simOptions,
+                      runner.has_value() ? &*runner : nullptr, partial[0]);
+    }
+  } else {
+    std::atomic<std::uint64_t> nextOrdinal{0};
+    std::vector<std::exception_ptr> errors(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          std::optional<sim::DecodedRunner> runner;
+          if (decoded != nullptr) {
+            runner.emplace(*decoded);
+          }
+          sim::SimOptions simOptions = workerOptions;
+          while (true) {
+            const std::uint64_t ordinal =
+                nextOrdinal.fetch_add(1, std::memory_order_relaxed);
+            if (ordinal >= trace.size()) {
+              break;
+            }
+            classifyOrdinal(ordinal, simOptions,
+                            runner.has_value() ? &*runner : nullptr,
+                            partial[w]);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& worker : pool) {
+      worker.join();
+    }
+    for (const std::exception_ptr& error : errors) {
+      if (error != nullptr) {
+        std::rethrow_exception(error);
+      }
+    }
+  }
+
+  GroundTruthReport report;
+  report.defInsns = golden.defInsns;
+  report.sites = totalSites;
+  report.perInsn.reserve(statics.size());
+  for (std::size_t s = 0; s < statics.size(); ++s) {
+    const StaticSite& entry = statics[s];
+    SiteOutcome outcome;
+    outcome.func = entry.site.func;
+    outcome.block = entry.site.block;
+    outcome.node = entry.site.node;
+    outcome.insn = entry.insn;
+    outcome.text = entry.text;
+    outcome.executions = entry.executions;
+    outcome.sites = entry.executions * entry.sitesPerExecution;
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+        outcome.counts[i] += partial[w][s].counts[i];
+        outcome.mcMass[i] += partial[w][s].mcMass[i];
+      }
+    }
+    for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+      report.counts[i] += outcome.counts[i];
+      report.mcProbability[i] += outcome.mcMass[i];
+    }
+    report.perInsn.push_back(std::move(outcome));
+  }
+  std::sort(report.perInsn.begin(), report.perInsn.end(),
+            [](const SiteOutcome& a, const SiteOutcome& b) {
+              if (a.sdcMass() != b.sdcMass()) {
+                return a.sdcMass() > b.sdcMass();
+              }
+              if (a.sdcSites() != b.sdcSites()) {
+                return a.sdcSites() > b.sdcSites();
+              }
+              return std::tie(a.func, a.block, a.node) <
+                     std::tie(b.func, b.block, b.node);
+            });
+  return report;
+}
+
+}  // namespace casted::fault

@@ -256,6 +256,9 @@ struct Interp {
         (opts.faultPlan != nullptr && !opts.faultPlan->points.empty())
             ? opts.faultPlan->points[0].ordinal
             : kNoFault;
+    if (opts.defTrace != nullptr) {
+      opts.defTrace->clear();
+    }
   }
 
   // Reads one register as raw bits; the marshalling used for call arguments
@@ -719,6 +722,9 @@ struct Interp {
         // opcode including calls (whose defs were just written back).
         if (u.defCount != 0) {
           ++stats.dynamicDefInsns;
+          if (options->defTrace != nullptr) {
+            options->defTrace->push_back({funcIdx, current, node});
+          }
           if (defOrdinal == nextFaultOrdinal) {
             injectFault(u, self);
           }

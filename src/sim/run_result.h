@@ -40,6 +40,19 @@ struct RunResult {
   std::vector<std::uint8_t> output;
 };
 
+// Static identity of one dynamically executed def-producing instruction:
+// the function, the block, and the instruction's position within the block.
+// When SimOptions::defTrace is set, both engines append one DefSite per def
+// ordinal, in ordinal order — the hook the exhaustive fault-space layer
+// (fault/exhaustive.h) builds its site table from.
+struct DefSite {
+  std::uint32_t func = 0;
+  std::uint32_t block = 0;
+  std::uint32_t node = 0;  // instruction index within the block
+
+  friend bool operator==(const DefSite&, const DefSite&) = default;
+};
+
 // One bit flip: at the `ordinal`-th dynamically executed def-producing
 // instruction (0-based, counted across the whole run), flip bit `bit` of
 // output register `whichDef`.

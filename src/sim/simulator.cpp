@@ -164,6 +164,14 @@ struct Simulator::Impl {
   }
 
   // --- fault injection -------------------------------------------------------
+  // Records the static site of the def-producing instruction about to claim
+  // the next def ordinal (see SimOptions::defTrace).
+  void recordDef(ir::FuncId func, ir::BlockId block, std::uint32_t node) {
+    if (options.defTrace != nullptr) {
+      options.defTrace->push_back({func, block, node});
+    }
+  }
+
   void maybeInjectFault(Frame& frame, const Instruction& insn) {
     if (insn.defs.empty()) {
       return;
@@ -660,6 +668,7 @@ struct Simulator::Impl {
             }
             if (!insn.defs.empty()) {
               ++stats.dynamicDefInsns;
+              recordDef(fn.id(), current, node);
             }
             maybeInjectFault(frame, insn);
             break;
@@ -692,6 +701,7 @@ struct Simulator::Impl {
             execute(frame, insn, node);
             if (!insn.defs.empty()) {
               ++stats.dynamicDefInsns;
+              recordDef(fn.id(), current, node);
               maybeInjectFault(frame, insn);
             }
             break;
@@ -710,6 +720,9 @@ struct Simulator::Impl {
 
   RunResult run() {
     RunResult result;
+    if (options.defTrace != nullptr) {
+      options.defTrace->clear();
+    }
     const ir::Function& entry = program.function(program.entryFunction());
     try {
       runFunction(entry, {}, 0);

@@ -50,6 +50,12 @@ struct SimOptions {
   std::string outputSymbol = "output"; // snapshot target for classification
   const FaultPlan* faultPlan = nullptr;
   Engine engine = Engine::kDecoded;
+  // When non-null, the engine clears the vector at run start and appends the
+  // static site of every dynamically executed def-producing instruction, in
+  // def-ordinal order (so (*defTrace)[i] is the instruction FaultPoint
+  // ordinal i targets).  Identical for both engines.  Meant for golden runs;
+  // costs one push_back per def, so leave it null in injection loops.
+  std::vector<DefSite>* defTrace = nullptr;
 };
 
 class Simulator {

@@ -48,6 +48,26 @@ double geomean(std::span<const double> values) {
   return summarize(values).geomean;
 }
 
+ProportionInterval wilsonInterval(std::uint64_t successes,
+                                  std::uint64_t trials, double z) {
+  CASTED_CHECK(successes <= trials)
+      << "successes " << successes << " > trials " << trials;
+  if (trials == 0) {
+    return {0.0, 1.0};
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  ProportionInterval interval;
+  interval.low = std::max(0.0, (centre - margin) / denom);
+  interval.high = std::min(1.0, (centre + margin) / denom);
+  return interval;
+}
+
 std::string formatFixed(double value, int digits) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 
@@ -27,6 +28,23 @@ double mean(std::span<const double> values);
 
 // Geometric mean; requires strictly positive values; 0 for an empty span.
 double geomean(std::span<const double> values);
+
+// A two-sided confidence interval for a binomial proportion.
+struct ProportionInterval {
+  double low = 0.0;
+  double high = 1.0;
+
+  bool contains(double p) const { return low <= p && p <= high; }
+};
+
+// Wilson score interval for `successes` out of `trials` Bernoulli draws at
+// critical value `z` (default: two-sided 99%).  Unlike the normal
+// approximation it behaves sensibly at p near 0 or 1 and for small samples —
+// exactly the regime of the rare data-corrupt outcome class.  An empty
+// sample yields the vacuous [0, 1].
+inline constexpr double kZ99 = 2.5758293035489004;
+ProportionInterval wilsonInterval(std::uint64_t successes,
+                                  std::uint64_t trials, double z = kZ99);
 
 // Formats `value` with `digits` digits after the decimal point.
 std::string formatFixed(double value, int digits);

@@ -1,0 +1,247 @@
+// Exhaustive enumeration as a ground-truth test layer.
+//
+// Three contracts, cross-validated on tiny workloads where complete
+// enumeration is tractable:
+//   1. The def-site trace and the site space are engine- and
+//      thread-count-invariant: both engines report the same dynamic def
+//      ordinals, and the report is bit-identical however it is computed.
+//   2. The static ProtectionLint never calls a site protected (or
+//      sphere-exit) that exhaustive injection classifies as silent data
+//      corruption — the lint's soundness contract, checked on real pipeline
+//      output for every scheme.
+//   3. The Monte Carlo campaign converges to the ground truth: with one
+//      flip per trial the campaign samples exactly the distribution
+//      `GroundTruthReport::mcProbability` states, so every observed outcome
+//      fraction must land inside the 99% Wilson interval around it.
+// Deterministic seeds throughout; corpus scaled by CASTED_TEST_TRIALS.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "fault/exhaustive.h"
+#include "passes/protection_lint.h"
+#include "support/statistics.h"
+#include "test_util.h"
+
+namespace casted {
+namespace {
+
+struct Workload {
+  std::string name;
+  ir::Program program;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> result;
+  result.push_back({"tiny", testutil::makeTinyProgram()});
+  result.push_back({"loop6", testutil::makeLoopProgram(6)});
+  result.push_back({"cfg", testutil::makeRandomCfgProgram(0xC5, 2, 3)});
+  return result;
+}
+
+core::CompiledProgram compileFor(const ir::Program& program,
+                                 passes::Scheme scheme) {
+  return core::compile(program, testutil::machine(2, 1), scheme);
+}
+
+TEST(ExhaustiveGroundTruthTest, EnginesEmitIdenticalDefTraces) {
+  for (const Workload& workload : workloads()) {
+    for (const passes::Scheme scheme :
+         {passes::Scheme::kNoed, passes::Scheme::kCasted}) {
+      const core::CompiledProgram bin = compileFor(workload.program, scheme);
+      std::vector<sim::DefSite> referenceTrace;
+      std::vector<sim::DefSite> decodedTrace;
+      sim::SimOptions referenceOpts;
+      referenceOpts.defTrace = &referenceTrace;
+      const sim::RunResult reference = sim::simulate(
+          bin.program, bin.schedule, bin.machine, referenceOpts);
+      sim::SimOptions decodedOpts;
+      decodedOpts.defTrace = &decodedTrace;
+      const sim::RunResult decoded = sim::runDecoded(*bin.decoded,
+                                                     decodedOpts);
+      ASSERT_EQ(reference.exit, sim::ExitKind::kHalted) << workload.name;
+      EXPECT_EQ(reference.stats.dynamicDefInsns, referenceTrace.size());
+      EXPECT_EQ(decoded.stats.dynamicDefInsns, decodedTrace.size());
+      EXPECT_EQ(referenceTrace, decodedTrace) << workload.name;
+    }
+  }
+}
+
+TEST(ExhaustiveGroundTruthTest, ReportAccountingIsConsistent) {
+  const core::CompiledProgram bin =
+      compileFor(testutil::makeTinyProgram(), passes::Scheme::kCasted);
+  const fault::GroundTruthReport truth = core::groundTruth(bin);
+
+  ASSERT_GT(truth.defInsns, 0u);
+  ASSERT_GT(truth.sites, 0u);
+  std::uint64_t countTotal = 0;
+  double massTotal = 0.0;
+  for (std::size_t i = 0; i < fault::kOutcomeCount; ++i) {
+    countTotal += truth.counts[i];
+    massTotal += truth.mcProbability[i];
+    EXPECT_DOUBLE_EQ(
+        truth.fraction(static_cast<fault::Outcome>(i)),
+        static_cast<double>(truth.counts[i]) /
+            static_cast<double>(truth.sites));
+  }
+  EXPECT_EQ(countTotal, truth.sites);
+  EXPECT_NEAR(massTotal, 1.0, 1e-9);
+  EXPECT_NEAR(truth.mcSafeProbability(),
+              1.0 - truth.mcProbabilityOf(fault::Outcome::kDataCorrupt),
+              1e-12);
+
+  // Per-instruction rows partition the site space.
+  std::uint64_t siteTotal = 0;
+  std::uint64_t executionTotal = 0;
+  for (const fault::SiteOutcome& insn : truth.perInsn) {
+    siteTotal += insn.sites;
+    executionTotal += insn.executions;
+    std::uint64_t insnTotal = 0;
+    for (const std::uint64_t count : insn.counts) {
+      insnTotal += count;
+    }
+    EXPECT_EQ(insnTotal, insn.sites) << insn.text;
+    EXPECT_NE(truth.find(insn.func, insn.insn), nullptr);
+  }
+  EXPECT_EQ(siteTotal, truth.sites);
+  EXPECT_EQ(executionTotal, truth.defInsns);
+  EXPECT_EQ(truth.find(0, ir::kInvalidInsn), nullptr);
+  EXPECT_FALSE(truth.toString().empty());
+}
+
+TEST(ExhaustiveGroundTruthTest, ThreadCountAndEngineAreInvariant) {
+  const core::CompiledProgram bin =
+      compileFor(testutil::makeLoopProgram(4), passes::Scheme::kCasted);
+  const fault::GroundTruthReport serial = core::groundTruth(bin);
+  fault::ExhaustiveOptions threaded;
+  threaded.threads = 4;
+  const fault::GroundTruthReport parallel = core::groundTruth(bin, threaded);
+  fault::ExhaustiveOptions reference;
+  reference.simOptions.engine = sim::Engine::kReference;
+  const fault::GroundTruthReport slow = core::groundTruth(bin, reference);
+
+  for (const fault::GroundTruthReport* other : {&parallel, &slow}) {
+    EXPECT_EQ(serial.defInsns, other->defInsns);
+    EXPECT_EQ(serial.sites, other->sites);
+    EXPECT_EQ(serial.counts, other->counts);
+    for (std::size_t i = 0; i < fault::kOutcomeCount; ++i) {
+      EXPECT_NEAR(serial.mcProbability[i], other->mcProbability[i], 1e-12);
+    }
+    ASSERT_EQ(serial.perInsn.size(), other->perInsn.size());
+    for (std::size_t i = 0; i < serial.perInsn.size(); ++i) {
+      EXPECT_EQ(serial.perInsn[i].counts, other->perInsn[i].counts);
+      EXPECT_EQ(serial.perInsn[i].insn, other->perInsn[i].insn);
+    }
+  }
+}
+
+// Contract 2: the lint's "protected"/"sphere-exit" verdicts are sound.
+// Every static instruction whose defs the lint all clears must show ZERO
+// data-corrupt sites under complete enumeration.
+TEST(ExhaustiveGroundTruthTest, LintClearedSitesNeverClassifySdc) {
+  for (const Workload& workload : workloads()) {
+    for (const passes::Scheme scheme :
+         {passes::Scheme::kSced, passes::Scheme::kCasted}) {
+      const core::CompiledProgram bin = compileFor(workload.program, scheme);
+      const fault::GroundTruthReport truth = core::groundTruth(bin);
+      const passes::ProtectionLintResult lint =
+          passes::lintProtection(bin.program, scheme);
+
+      // An instruction is "cleared" when every def it produces is
+      // protected or sphere-exit.
+      std::unordered_map<ir::InsnId, bool> cleared;
+      for (const passes::LintSite& site : lint.sites) {
+        if (site.func != 0) {
+          continue;
+        }
+        const bool safe =
+            site.protection != passes::Protection::kUnprotected;
+        const auto it = cleared.find(site.insn);
+        if (it == cleared.end()) {
+          cleared.emplace(site.insn, safe);
+        } else {
+          it->second = it->second && safe;
+        }
+      }
+      std::size_t checkedInsns = 0;
+      for (const fault::SiteOutcome& outcome : truth.perInsn) {
+        const auto it = cleared.find(outcome.insn);
+        if (outcome.func != 0 || it == cleared.end() || !it->second) {
+          continue;
+        }
+        ++checkedInsns;
+        EXPECT_EQ(outcome.sdcSites(), 0u)
+            << workload.name << "/" << passes::schemeName(scheme)
+            << ": lint cleared " << outcome.text
+            << " but exhaustive injection found "
+            << outcome.sdcSites() << " SDC sites\n"
+            << lint.toString();
+      }
+      // The contract is vacuous if nothing was cleared; these protected
+      // binaries must clear a healthy share of their defs.
+      EXPECT_GT(checkedInsns, 0u)
+          << workload.name << "/" << passes::schemeName(scheme);
+    }
+  }
+}
+
+// Contract 3: with one flip per trial (originalDefInsns == 0) the campaign
+// samples exactly the measure mcProbability states, so each observed
+// fraction lands in the 99% Wilson interval around the exact value.
+// Deterministic seed: this is a fixed, reproducible draw, not a flaky one.
+TEST(ExhaustiveGroundTruthTest, MonteCarloConvergesToGroundTruth) {
+  const std::uint32_t trials = static_cast<std::uint32_t>(
+      testutil::testTrials(4000));
+  std::uint64_t seed = 0xD15EA5Eu;
+  for (const Workload& workload : workloads()) {
+    for (const passes::Scheme scheme :
+         {passes::Scheme::kNoed, passes::Scheme::kCasted}) {
+      const core::CompiledProgram bin = compileFor(workload.program, scheme);
+      const fault::GroundTruthReport truth = core::groundTruth(bin);
+
+      fault::CampaignOptions mc;
+      mc.trials = trials;
+      mc.seed = ++seed;
+      mc.threads = 2;          // deterministic by construction
+      mc.originalDefInsns = 0; // exactly one flip per trial
+      const fault::CoverageReport report = core::campaign(bin, mc);
+      ASSERT_EQ(report.trials, trials);
+
+      for (std::size_t i = 0; i < fault::kOutcomeCount; ++i) {
+        const auto outcome = static_cast<fault::Outcome>(i);
+        const ProportionInterval interval =
+            wilsonInterval(report.counts[i], report.trials);
+        EXPECT_TRUE(interval.contains(truth.mcProbabilityOf(outcome)))
+            << workload.name << "/" << passes::schemeName(scheme) << " "
+            << fault::outcomeName(outcome) << ": observed "
+            << report.fraction(outcome) << " of " << report.trials
+            << " trials, Wilson99 [" << interval.low << ", "
+            << interval.high << "], exact "
+            << truth.mcProbabilityOf(outcome);
+      }
+    }
+  }
+}
+
+// The exhaustive safety figure and the campaign's safeFraction estimate the
+// same quantity; under NOED vs CASTED the ground truth must also reproduce
+// the paper's qualitative result (protection removes most SDC mass).
+TEST(ExhaustiveGroundTruthTest, ProtectionShrinksExactSdcMass) {
+  const ir::Program program = testutil::makeLoopProgram(5);
+  const fault::GroundTruthReport noed =
+      core::groundTruth(compileFor(program, passes::Scheme::kNoed));
+  const fault::GroundTruthReport casted =
+      core::groundTruth(compileFor(program, passes::Scheme::kCasted));
+  EXPECT_GT(noed.mcProbabilityOf(fault::Outcome::kDataCorrupt),
+            casted.mcProbabilityOf(fault::Outcome::kDataCorrupt));
+  EXPECT_GT(casted.mcSafeProbability(), noed.mcSafeProbability());
+  EXPECT_GT(casted.mcProbabilityOf(fault::Outcome::kDetected), 0.0);
+}
+
+}  // namespace
+}  // namespace casted

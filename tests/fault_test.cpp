@@ -41,6 +41,53 @@ TEST(ClassifyTest, MapsExitKindsToOutcomes) {
   EXPECT_EQ(classify(faulty, golden), Outcome::kDataCorrupt);
 }
 
+// Property test for the precedence documented in campaign.h: the faulty
+// run's ExitKind dominates, and output bytes / exit code are compared only
+// for runs that halted cleanly.
+TEST(ClassifyTest, ExitKindDominatesOutputComparison) {
+  Rng rng(0xC1A55);
+  const sim::ExitKind kinds[] = {
+      sim::ExitKind::kHalted, sim::ExitKind::kDetected,
+      sim::ExitKind::kException, sim::ExitKind::kTimeout};
+  for (int trial = 0; trial < 500; ++trial) {
+    GoldenProfile golden;
+    golden.result.exit = sim::ExitKind::kHalted;
+    golden.result.exitCode = static_cast<std::int64_t>(rng.nextBelow(3));
+    golden.result.output = {static_cast<std::uint8_t>(rng.nextBelow(4))};
+
+    sim::RunResult faulty;
+    faulty.exit = kinds[rng.nextBelow(4)];
+    faulty.exitCode = static_cast<std::int64_t>(rng.nextBelow(3));
+    faulty.output = {static_cast<std::uint8_t>(rng.nextBelow(4))};
+
+    Outcome expected = Outcome::kBenign;
+    switch (faulty.exit) {
+      case sim::ExitKind::kDetected:
+        expected = Outcome::kDetected;
+        break;
+      case sim::ExitKind::kException:
+        expected = Outcome::kException;
+        break;
+      case sim::ExitKind::kTimeout:
+        expected = Outcome::kTimeout;
+        break;
+      case sim::ExitKind::kHalted:
+        expected = (faulty.output == golden.result.output &&
+                    faulty.exitCode == golden.result.exitCode)
+                       ? Outcome::kBenign
+                       : Outcome::kDataCorrupt;
+        break;
+    }
+    EXPECT_EQ(classify(faulty, golden), expected)
+        << "exit=" << static_cast<int>(faulty.exit);
+    if (faulty.exit != sim::ExitKind::kHalted) {
+      // Corrupt-looking output must not demote a detected/trapped/timed-out
+      // run to kDataCorrupt.
+      EXPECT_NE(classify(faulty, golden), Outcome::kDataCorrupt);
+    }
+  }
+}
+
 TEST(TrialPlanTest, OriginalBinaryGetsExactlyOneFlip) {
   Rng rng(1);
   for (int i = 0; i < 20; ++i) {
@@ -162,6 +209,25 @@ TEST(CampaignTest, OutcomesSumToTrials) {
                   report.fraction(Outcome::kDataCorrupt) +
                   report.fraction(Outcome::kTimeout),
               1.0, 1e-9);
+}
+
+TEST(CampaignTest, EmptyCampaignReportsConsistentZeroes) {
+  // Regression: safeFraction() used to report 1.0 on zero trials while
+  // fraction() reported 0.0 for every outcome.  Both now agree that an
+  // empty campaign is evidence of nothing.
+  const ir::Program prog = testutil::makeTinyProgram();
+  const arch::MachineConfig config = testutil::machine(2, 1);
+  const core::CompiledProgram bin =
+      core::compile(prog, config, Scheme::kCasted);
+  CampaignOptions options;
+  options.trials = 0;
+  const CoverageReport report = campaign(bin, options);
+  EXPECT_EQ(report.trials, 0u);
+  for (int i = 0; i < static_cast<int>(kOutcomeCount); ++i) {
+    EXPECT_EQ(report.counts[i], 0u);
+    EXPECT_EQ(report.fraction(static_cast<Outcome>(i)), 0.0);
+  }
+  EXPECT_EQ(report.safeFraction(), 0.0);
 }
 
 TEST(OutcomeTest, NamesAreStable) {

@@ -33,14 +33,15 @@ TEST(BuildPipelineTest, CastedOrderMatchesPaperToolFlow) {
   const PassManager manager = core::buildPipeline(Scheme::kCasted);
   EXPECT_EQ(passNames(manager),
             (std::vector<std::string>{"early-opts", "error-detection",
-                                      "local-cse", "dce", "assignment"}));
+                                      "local-cse", "dce", "assignment",
+                                      "protection-lint"}));
 }
 
 TEST(BuildPipelineTest, NoedSkipsErrorDetection) {
   const PassManager manager = core::buildPipeline(Scheme::kNoed);
   EXPECT_EQ(passNames(manager),
             (std::vector<std::string>{"early-opts", "local-cse", "dce",
-                                      "assignment"}));
+                                      "assignment", "protection-lint"}));
 }
 
 TEST(BuildPipelineTest, OptionsToggleStages) {
@@ -51,7 +52,7 @@ TEST(BuildPipelineTest, OptionsToggleStages) {
   const PassManager manager = core::buildPipeline(Scheme::kSced, options);
   EXPECT_EQ(passNames(manager),
             (std::vector<std::string>{"error-detection", "spill",
-                                      "assignment"}));
+                                      "assignment", "protection-lint"}));
 }
 
 // --- analysis caching -------------------------------------------------------

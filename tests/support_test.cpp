@@ -175,6 +175,48 @@ TEST(StatisticsTest, GeomeanRejectsNonPositive) {
   EXPECT_THROW(geomean(values), FatalError);
 }
 
+TEST(WilsonIntervalTest, EmptySampleIsVacuous) {
+  const ProportionInterval interval = wilsonInterval(0, 0);
+  EXPECT_EQ(interval.low, 0.0);
+  EXPECT_EQ(interval.high, 1.0);
+  EXPECT_TRUE(interval.contains(0.0));
+  EXPECT_TRUE(interval.contains(1.0));
+}
+
+TEST(WilsonIntervalTest, MatchesKnownValueAt95) {
+  // Textbook example: 50/100 at z=1.96 gives roughly [0.404, 0.596].
+  const ProportionInterval interval = wilsonInterval(50, 100, 1.96);
+  EXPECT_NEAR(interval.low, 0.4038, 1e-3);
+  EXPECT_NEAR(interval.high, 0.5962, 1e-3);
+}
+
+TEST(WilsonIntervalTest, BoundariesStayInUnitRangeAndCoverEstimate) {
+  const std::uint64_t samples[][2] = {
+      {0, 10}, {10, 10}, {1, 1000}, {999, 1000}, {7, 25}};
+  for (const auto& [successes, trials] : samples) {
+    const ProportionInterval interval = wilsonInterval(successes, trials);
+    EXPECT_GE(interval.low, 0.0);
+    EXPECT_LE(interval.high, 1.0);
+    EXPECT_LT(interval.low, interval.high);
+    const double estimate =
+        static_cast<double>(successes) / static_cast<double>(trials);
+    EXPECT_TRUE(interval.contains(estimate)) << successes << "/" << trials;
+  }
+  // Degenerate extremes pin the matching bound (up to rounding).
+  EXPECT_NEAR(wilsonInterval(0, 10).low, 0.0, 1e-12);
+  EXPECT_NEAR(wilsonInterval(10, 10).high, 1.0, 1e-12);
+}
+
+TEST(WilsonIntervalTest, NarrowsWithMoreTrials) {
+  const ProportionInterval small = wilsonInterval(5, 10);
+  const ProportionInterval large = wilsonInterval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(WilsonIntervalTest, RejectsMoreSuccessesThanTrials) {
+  EXPECT_THROW(wilsonInterval(11, 10), FatalError);
+}
+
 TEST(StatisticsTest, StddevOfConstantIsZero) {
   const std::vector<double> values = {3.0, 3.0, 3.0};
   EXPECT_DOUBLE_EQ(summarize(values).stddev, 0.0);
