@@ -106,14 +106,19 @@ CompiledProgram compile(const ir::Program& source,
 sim::RunResult run(const CompiledProgram& compiled,
                    sim::SimOptions options = {});
 
-// Runs the Monte Carlo fault campaign on a compiled program.
+// Runs the Monte Carlo fault campaign on a compiled program.  Faulty runs
+// execute checkpoint-and-diverge by default (options.mode; DESIGN.md §10)
+// over the cached decode — the report is bit-identical to the full-rerun
+// oracle mode either way.
 fault::CoverageReport campaign(const CompiledProgram& compiled,
                                const fault::CampaignOptions& options = {});
 
 // Exhaustively enumerates and classifies the complete fault-site space of a
 // compiled program (the ground truth the campaign samples) — see
-// fault/exhaustive.h.  Only tractable for small workloads; use
-// `options.maxSites` as a guard.
+// fault/exhaustive.h.  Enumeration is ordinal-major, so the default
+// checkpointed injection mode restores one golden-prefix snapshot per
+// dynamic def instead of re-running the program per site.  Still only
+// tractable for small workloads; use `options.maxSites` as a guard.
 fault::GroundTruthReport groundTruth(
     const CompiledProgram& compiled,
     const fault::ExhaustiveOptions& options = {});

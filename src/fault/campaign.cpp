@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
+#include <numeric>
 #include <optional>
-#include <thread>
 #include <vector>
 
+#include "fault/driver_util.h"
 #include "support/check.h"
 
 namespace casted::fault {
@@ -27,22 +27,15 @@ const char* outcomeName(Outcome outcome) {
   CASTED_UNREACHABLE("bad Outcome");
 }
 
-namespace {
-
-// Wraps a fault-free run into the campaign's golden profile.
-GoldenProfile makeProfile(sim::RunResult result) {
-  GoldenProfile profile;
-  profile.result = std::move(result);
-  CASTED_CHECK(profile.result.exit == sim::ExitKind::kHalted)
-      << "golden run did not halt cleanly ("
-      << sim::exitKindName(profile.result.exit) << ")";
-  profile.defInsns = profile.result.stats.dynamicDefInsns;
-  profile.cycles = profile.result.stats.cycles;
-  CASTED_CHECK(profile.defInsns > 0) << "program executed no instructions";
-  return profile;
+const char* injectionModeName(InjectionMode mode) {
+  switch (mode) {
+    case InjectionMode::kFull:
+      return "full";
+    case InjectionMode::kCheckpointed:
+      return "checkpointed";
+  }
+  CASTED_UNREACHABLE("bad InjectionMode");
 }
-
-}  // namespace
 
 GoldenProfile profileGolden(const ir::Program& program,
                             const sched::ProgramSchedule& schedule,
@@ -50,7 +43,7 @@ GoldenProfile profileGolden(const ir::Program& program,
                             const sim::SimOptions& simOptions) {
   sim::SimOptions options = simOptions;
   options.faultPlan = nullptr;
-  return makeProfile(sim::simulate(program, schedule, config, options));
+  return detail::toProfile(sim::simulate(program, schedule, config, options));
 }
 
 Outcome classify(const sim::RunResult& faulty, const GoldenProfile& golden) {
@@ -112,28 +105,26 @@ sim::FaultPlan makeTrialPlan(Rng& rng, std::uint64_t runDefInsns,
 
 namespace {
 
-// Executes one trial.  All randomness derives from (seed, trialIndex) via a
-// SplitMix64 mix, so a trial's outcome is independent of which worker runs
-// it and in what order — the property that makes the parallel campaign
-// bit-identical to the serial one.  `decoded` is the campaign-wide shared
-// decode (null when the reference engine was requested).
+// All randomness of a trial derives from (seed, trialIndex) via a SplitMix64
+// mix, so a trial's outcome is independent of which worker runs it, in what
+// order, and under which InjectionMode — the property that makes the
+// parallel and checkpointed campaigns bit-identical to the serial full one.
 struct TrialResult {
   Outcome outcome = Outcome::kBenign;
   std::uint64_t dynamicInsns = 0;
 };
 
-// Per-worker trial state, set up once and reused for every trial the worker
-// claims: the armed SimOptions (watchdog already applied; only faultPlan
-// changes per trial) and, for the decoded engine, the reusable execution
-// context over the shared DecodedProgram.
+// Per-worker state for the full-rerun path, set up once and reused for
+// every trial the worker claims: the armed SimOptions (watchdog already
+// applied; only faultPlan changes per trial) and, for the decoded engine,
+// the reusable execution context over the shared DecodedProgram.
 struct TrialContext {
   sim::SimOptions simOptions;
   std::optional<sim::DecodedRunner> runner;
 
-  TrialContext(const CampaignOptions& options, const GoldenProfile& golden,
+  TrialContext(const sim::SimOptions& armedOptions,
                const sim::DecodedProgram* decoded)
-      : simOptions(options.simOptions) {
-    simOptions.maxCycles = golden.cycles * options.timeoutFactor;
+      : simOptions(armedOptions) {
     if (decoded != nullptr) {
       runner.emplace(*decoded);
     }
@@ -143,12 +134,7 @@ struct TrialContext {
 TrialResult runTrial(const ir::Program& program,
                      const sched::ProgramSchedule& schedule,
                      const arch::MachineConfig& config, TrialContext& context,
-                     const CampaignOptions& options,
-                     const GoldenProfile& golden, std::uint32_t trialIndex) {
-  Rng trialRng(deriveStreamSeed(options.seed, trialIndex));
-  const sim::FaultPlan plan =
-      makeTrialPlan(trialRng, golden.defInsns, options.originalDefInsns);
-
+                     const GoldenProfile& golden, const sim::FaultPlan& plan) {
   context.simOptions.faultPlan = &plan;
   const sim::RunResult faulty =
       context.runner.has_value()
@@ -168,80 +154,84 @@ CoverageReport runCampaign(const ir::Program& program,
   // Decode once per campaign; every trial on every worker shares the result
   // read-only.  A caller-supplied decode (e.g. core::CompiledProgram's) is
   // reused as-is; the reference engine never touches a decode.
-  std::optional<sim::DecodedProgram> owned;
-  if (options.simOptions.engine == sim::Engine::kDecoded) {
-    if (decoded == nullptr) {
-      owned.emplace(sim::DecodedProgram::build(program, schedule, config));
-      decoded = &*owned;
-    }
-  } else {
-    decoded = nullptr;
+  const detail::EngineChoice choice = detail::chooseEngine(
+      program, schedule, config, options.simOptions, decoded);
+
+  const GoldenProfile golden = detail::toProfile(detail::runGolden(
+      program, schedule, config, options.simOptions, choice));
+
+  sim::SimOptions armedOptions = options.simOptions;
+  armedOptions.maxCycles = golden.cycles * options.timeoutFactor;
+  armedOptions.faultPlan = nullptr;
+  armedOptions.defTrace = nullptr;
+
+  const std::uint32_t threads =
+      detail::resolveThreads(options.threads, options.trials);
+
+  // Every trial's plan is derived up front — it costs a few RNG draws, and
+  // having all plans in hand lets the checkpointed path order each worker's
+  // stream by injection ordinal.
+  std::vector<sim::FaultPlan> plans(options.trials);
+  for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
+    Rng trialRng(deriveStreamSeed(options.seed, trial));
+    plans[trial] =
+        makeTrialPlan(trialRng, golden.defInsns, options.originalDefInsns);
   }
 
-  sim::SimOptions goldenOptions = options.simOptions;
-  goldenOptions.faultPlan = nullptr;
-  const GoldenProfile golden = makeProfile(
-      decoded != nullptr
-          ? sim::runDecoded(*decoded, goldenOptions)
-          : sim::simulate(program, schedule, config, goldenOptions));
+  const bool checkpointed =
+      options.mode == InjectionMode::kCheckpointed && choice.decoded != nullptr;
 
-  std::uint32_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, std::max(options.trials, 1u));
-
-  CoverageReport report;
-  if (threads <= 1) {
-    TrialContext context(options, golden, decoded);
-    for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
-      const TrialResult result = runTrial(program, schedule, config, context,
-                                          options, golden, trial);
-      ++report.counts[static_cast<int>(result.outcome)];
-      report.dynamicInsns += result.dynamicInsns;
-    }
-    report.trials = options.trials;
-    return report;
+  // Trial visit order.  The checkpointed sweep requires non-decreasing
+  // injection ordinals per worker, and profits most when trials that inject
+  // at nearby ordinals run back to back (shorter prefix replays between
+  // snapshots) — so it claims trials in (ordinal, trialIndex) order.  The
+  // full path keeps plain index order, exactly the historical behaviour.
+  std::vector<std::uint32_t> order(options.trials);
+  std::iota(order.begin(), order.end(), 0u);
+  if (checkpointed) {
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const std::uint64_t ordA = plans[a].points[0].ordinal;
+                const std::uint64_t ordB = plans[b].points[0].ordinal;
+                return ordA != ordB ? ordA < ordB : a < b;
+              });
   }
 
-  // Work-stealing over a shared trial counter; each worker tallies into its
-  // own CoverageReport (outcome counts and instruction totals commute, so
-  // the merged report does not depend on which worker ran which trial).
-  std::atomic<std::uint32_t> nextTrial{0};
+  std::atomic<std::uint32_t> nextSlot{0};
   std::vector<CoverageReport> partial(threads);
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::uint32_t w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        // One reusable execution context per worker; the DecodedProgram
-        // itself is shared read-only.
-        TrialContext context(options, golden, decoded);
-        while (true) {
-          const std::uint32_t trial =
-              nextTrial.fetch_add(1, std::memory_order_relaxed);
-          if (trial >= options.trials) {
-            break;
-          }
-          const TrialResult result = runTrial(program, schedule, config,
-                                              context, options, golden, trial);
-          ++partial[w].counts[static_cast<int>(result.outcome)];
-          partial[w].dynamicInsns += result.dynamicInsns;
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& worker : pool) {
-    worker.join();
-  }
-  for (const std::exception_ptr& error : errors) {
-    if (error != nullptr) {
-      std::rethrow_exception(error);
+  detail::runWorkerPool(threads, [&](std::uint32_t w) {
+    // One reusable execution context per worker; the DecodedProgram itself
+    // is shared read-only.  An atomic cursor over the sorted order hands
+    // each worker an ascending-ordinal subsequence.
+    std::optional<detail::CheckpointSweep> sweep;
+    std::optional<TrialContext> context;
+    if (checkpointed) {
+      sweep.emplace(*choice.decoded, armedOptions, golden);
+    } else {
+      context.emplace(armedOptions, choice.decoded);
     }
-  }
+    while (true) {
+      const std::uint32_t slot =
+          nextSlot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= options.trials) {
+        break;
+      }
+      const sim::FaultPlan& plan = plans[order[slot]];
+      TrialResult result;
+      if (checkpointed) {
+        const sim::RunResult faulty = sweep->run(plan);
+        result = {classify(faulty, golden), faulty.stats.dynamicInsns};
+      } else {
+        result = runTrial(program, schedule, config, *context, golden, plan);
+      }
+      ++partial[w].counts[static_cast<int>(result.outcome)];
+      partial[w].dynamicInsns += result.dynamicInsns;
+    }
+  });
+
+  // Outcome counts and instruction totals commute, so the merged report
+  // does not depend on which worker ran which trial.
+  CoverageReport report;
   for (const CoverageReport& part : partial) {
     for (std::size_t i = 0; i < kOutcomeCount; ++i) {
       report.counts[i] += part.counts[i];

@@ -36,6 +36,23 @@ inline constexpr std::size_t kOutcomeCount = 5;
 
 const char* outcomeName(Outcome outcome);
 
+// How the injection drivers execute each faulty run.
+enum class InjectionMode : std::uint8_t {
+  // Re-execute every faulty run from program start.  The oracle path: dead
+  // simple, no shared state between runs.
+  kFull,
+  // Checkpoint-and-diverge (DESIGN.md §10): replay the golden prefix once
+  // per injection ordinal, snapshot at the def pause, restore for every
+  // site at that ordinal, and cut the faulty suffix short the moment the
+  // run provably reconverges with the golden trajectory.  Reports are
+  // bit-identical to kFull — the driver oracle tests enforce it.  Requires
+  // the decoded engine; silently falls back to kFull under the reference
+  // engine (which has no stepwise API).
+  kCheckpointed,
+};
+
+const char* injectionModeName(InjectionMode mode);
+
 struct CoverageReport {
   std::array<std::uint64_t, kOutcomeCount> counts = {};
   std::uint64_t trials = 0;
@@ -74,6 +91,12 @@ struct CampaignOptions {
   // Watchdog: a faulty run is declared a timeout after
   // goldenCycles * timeoutFactor cycles.
   std::uint64_t timeoutFactor = 20;
+  // Execution strategy for the faulty runs; kFull is the oracle.  The
+  // checkpointed driver sorts each worker's trial stream by injection
+  // ordinal so one golden prefix serves every trial that injects there —
+  // outcome counts and instruction totals commute, so the report stays
+  // bit-identical to kFull at every thread count.
+  InjectionMode mode = InjectionMode::kCheckpointed;
   sim::SimOptions simOptions;
 };
 

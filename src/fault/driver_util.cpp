@@ -1,0 +1,133 @@
+#include "fault/driver_util.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "support/check.h"
+
+namespace casted::fault::detail {
+
+EngineChoice chooseEngine(const ir::Program& program,
+                          const sched::ProgramSchedule& schedule,
+                          const arch::MachineConfig& config,
+                          const sim::SimOptions& simOptions,
+                          const sim::DecodedProgram* decoded) {
+  EngineChoice choice;
+  if (simOptions.engine == sim::Engine::kDecoded) {
+    if (decoded == nullptr) {
+      choice.owned.emplace(
+          sim::DecodedProgram::build(program, schedule, config));
+      choice.decoded = &*choice.owned;
+    } else {
+      choice.decoded = decoded;
+    }
+  }
+  return choice;
+}
+
+sim::RunResult runGolden(const ir::Program& program,
+                         const sched::ProgramSchedule& schedule,
+                         const arch::MachineConfig& config,
+                         const sim::SimOptions& simOptions,
+                         const EngineChoice& choice,
+                         std::vector<sim::DefSite>* trace) {
+  sim::SimOptions goldenOptions = simOptions;
+  goldenOptions.faultPlan = nullptr;
+  goldenOptions.defTrace = trace;
+  return choice.decoded != nullptr
+             ? sim::runDecoded(*choice.decoded, goldenOptions)
+             : sim::simulate(program, schedule, config, goldenOptions);
+}
+
+GoldenProfile toProfile(sim::RunResult result) {
+  GoldenProfile profile;
+  profile.result = std::move(result);
+  CASTED_CHECK(profile.result.exit == sim::ExitKind::kHalted)
+      << "golden run did not halt cleanly ("
+      << sim::exitKindName(profile.result.exit) << ")";
+  profile.defInsns = profile.result.stats.dynamicDefInsns;
+  profile.cycles = profile.result.stats.cycles;
+  CASTED_CHECK(profile.defInsns > 0) << "program executed no instructions";
+  return profile;
+}
+
+std::uint32_t resolveThreads(std::uint32_t requested,
+                             std::uint64_t workItems) {
+  std::uint32_t threads = requested;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      threads, std::max<std::uint64_t>(workItems, 1)));
+}
+
+void runWorkerPool(std::uint32_t threads,
+                   const std::function<void(std::uint32_t)>& body) {
+  if (threads <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        body(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+CheckpointSweep::CheckpointSweep(const sim::DecodedProgram& decoded,
+                                 const sim::SimOptions& armedOptions,
+                                 const GoldenProfile& golden)
+    : runner_(decoded), options_(armedOptions), golden_(golden) {
+  CASTED_CHECK(options_.faultPlan == nullptr && options_.defTrace == nullptr)
+      << "sweep options must arrive with no plan and no trace";
+}
+
+sim::RunResult CheckpointSweep::run(const sim::FaultPlan& plan) {
+  CASTED_CHECK(!plan.points.empty()) << "empty fault plan";
+  const std::uint64_t target = plan.points[0].ordinal;
+  if (!started_) {
+    runner_.begin(options_);
+    runner_.setCutoffReference(&golden_.result);
+    const bool paused = runner_.runToDef(target);
+    CASTED_CHECK(paused) << "injection ordinal " << target
+                         << " beyond the golden run";
+    runner_.saveCheckpoint(checkpoint_);
+    started_ = true;
+  } else if (target > ordinal_) {
+    // Roll the snapshot forward along the golden prefix: resume from the
+    // old checkpoint (undoing whatever the previous faulty suffix touched)
+    // and re-snapshot at the new ordinal.
+    runner_.restoreCheckpoint(checkpoint_);
+    const bool paused = runner_.runToDef(target);
+    CASTED_CHECK(paused) << "injection ordinal " << target
+                         << " beyond the golden run";
+    runner_.saveCheckpoint(checkpoint_);
+  } else {
+    CASTED_CHECK(target == ordinal_)
+        << "sweep ordinals must be non-decreasing (got " << target
+        << " after " << ordinal_ << ")";
+    runner_.restoreCheckpoint(checkpoint_);
+  }
+  ordinal_ = target;
+  runner_.injectAtPause(plan);
+  return runner_.finish();
+}
+
+}  // namespace casted::fault::detail

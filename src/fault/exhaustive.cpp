@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
 #include <map>
 #include <optional>
 #include <sstream>
-#include <thread>
 #include <tuple>
 
+#include "fault/driver_util.h"
 #include "support/check.h"
 #include "support/statistics.h"
 #include "support/table.h"
@@ -94,31 +93,13 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
                                       const ExhaustiveOptions& options,
                                       const sim::DecodedProgram* decoded) {
   // Engine selection mirrors runCampaign: decode once, share read-only.
-  std::optional<sim::DecodedProgram> owned;
-  if (options.simOptions.engine == sim::Engine::kDecoded) {
-    if (decoded == nullptr) {
-      owned.emplace(sim::DecodedProgram::build(program, schedule, config));
-      decoded = &*owned;
-    }
-  } else {
-    decoded = nullptr;
-  }
+  const detail::EngineChoice choice = detail::chooseEngine(
+      program, schedule, config, options.simOptions, decoded);
 
   // Golden run with the def-site trace attached: one DefSite per ordinal.
   std::vector<sim::DefSite> trace;
-  sim::SimOptions goldenOptions = options.simOptions;
-  goldenOptions.faultPlan = nullptr;
-  goldenOptions.defTrace = &trace;
-  GoldenProfile golden;
-  golden.result = decoded != nullptr
-                      ? sim::runDecoded(*decoded, goldenOptions)
-                      : sim::simulate(program, schedule, config, goldenOptions);
-  CASTED_CHECK(golden.result.exit == sim::ExitKind::kHalted)
-      << "golden run did not halt cleanly ("
-      << sim::exitKindName(golden.result.exit) << ")";
-  golden.defInsns = golden.result.stats.dynamicDefInsns;
-  golden.cycles = golden.result.stats.cycles;
-  CASTED_CHECK(golden.defInsns > 0) << "program executed no instructions";
+  const GoldenProfile golden = detail::toProfile(detail::runGolden(
+      program, schedule, config, options.simOptions, choice, &trace));
   CASTED_CHECK(trace.size() == golden.defInsns)
       << "def trace length " << trace.size() << " != def count "
       << golden.defInsns;
@@ -164,20 +145,28 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
       << "fault space has " << totalSites << " sites, over the maxSites cap "
       << options.maxSites;
 
-  std::uint32_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<std::uint64_t>(threads,
-                                    std::max<std::uint64_t>(trace.size(), 1));
+  const std::uint32_t threads =
+      detail::resolveThreads(options.threads, trace.size());
+
+  sim::SimOptions armedOptions = options.simOptions;
+  armedOptions.maxCycles = golden.cycles * options.timeoutFactor;
+  armedOptions.faultPlan = nullptr;
+  armedOptions.defTrace = nullptr;
+
+  const bool checkpointed =
+      options.mode == InjectionMode::kCheckpointed && choice.decoded != nullptr;
 
   // Classifies every site of one dynamic ordinal into `tallies`.  The plan
   // IS the site — no randomness — so the merged result is independent of
-  // how ordinals are distributed over workers.
+  // how ordinals are distributed over workers.  Enumeration is the perfect
+  // checkpoint customer: the (def x bit) loop visits up to 256 sites at the
+  // SAME ordinal, so the sweep replays the golden prefix once and restores
+  // the snapshot for every site after the first.
   const double ordinalWeight = 1.0 / static_cast<double>(golden.defInsns);
   const auto classifyOrdinal = [&](std::uint64_t ordinal,
                                    sim::SimOptions& simOptions,
                                    sim::DecodedRunner* runner,
+                                   detail::CheckpointSweep* sweep,
                                    std::vector<Tally>& tallies) {
     const StaticSite& entry = statics[ordinalStatic[ordinal]];
     Tally& tally = tallies[ordinalStatic[ordinal]];
@@ -190,10 +179,14 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
       const double siteWeight = ordinalWeight * entry.defWeight[d] * bitWeight;
       for (std::uint32_t bit = 0; bit < entry.bitsOf[d]; ++bit) {
         plan.points[0] = {ordinal, d, bit};
-        const sim::RunResult faulty =
-            runner != nullptr
-                ? runner->run(simOptions)
-                : sim::simulate(program, schedule, config, simOptions);
+        sim::RunResult faulty;
+        if (sweep != nullptr) {
+          faulty = sweep->run(plan);
+        } else if (runner != nullptr) {
+          faulty = runner->run(simOptions);
+        } else {
+          faulty = sim::simulate(program, schedule, config, simOptions);
+        }
         const Outcome outcome = classify(faulty, golden);
         ++tally.counts[static_cast<int>(outcome)];
         tally.mcMass[static_cast<int>(outcome)] += siteWeight;
@@ -202,59 +195,32 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
     simOptions.faultPlan = nullptr;
   };
 
-  sim::SimOptions workerOptions = options.simOptions;
-  workerOptions.maxCycles = golden.cycles * options.timeoutFactor;
-  workerOptions.defTrace = nullptr;
-
+  // Work-stealing over the ordinal cursor.  fetch_add hands each worker an
+  // ascending subsequence of ordinals — exactly the non-decreasing order
+  // the checkpointed sweep requires.
   std::vector<std::vector<Tally>> partial(
       threads, std::vector<Tally>(statics.size()));
-  if (threads <= 1) {
+  std::atomic<std::uint64_t> nextOrdinal{0};
+  detail::runWorkerPool(threads, [&](std::uint32_t w) {
+    std::optional<detail::CheckpointSweep> sweep;
     std::optional<sim::DecodedRunner> runner;
-    if (decoded != nullptr) {
-      runner.emplace(*decoded);
+    if (checkpointed) {
+      sweep.emplace(*choice.decoded, armedOptions, golden);
+    } else if (choice.decoded != nullptr) {
+      runner.emplace(*choice.decoded);
     }
-    sim::SimOptions simOptions = workerOptions;
-    for (std::uint64_t ordinal = 0; ordinal < trace.size(); ++ordinal) {
-      classifyOrdinal(ordinal, simOptions,
-                      runner.has_value() ? &*runner : nullptr, partial[0]);
-    }
-  } else {
-    std::atomic<std::uint64_t> nextOrdinal{0};
-    std::vector<std::exception_ptr> errors(threads);
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::uint32_t w = 0; w < threads; ++w) {
-      pool.emplace_back([&, w] {
-        try {
-          std::optional<sim::DecodedRunner> runner;
-          if (decoded != nullptr) {
-            runner.emplace(*decoded);
-          }
-          sim::SimOptions simOptions = workerOptions;
-          while (true) {
-            const std::uint64_t ordinal =
-                nextOrdinal.fetch_add(1, std::memory_order_relaxed);
-            if (ordinal >= trace.size()) {
-              break;
-            }
-            classifyOrdinal(ordinal, simOptions,
-                            runner.has_value() ? &*runner : nullptr,
-                            partial[w]);
-          }
-        } catch (...) {
-          errors[w] = std::current_exception();
-        }
-      });
-    }
-    for (std::thread& worker : pool) {
-      worker.join();
-    }
-    for (const std::exception_ptr& error : errors) {
-      if (error != nullptr) {
-        std::rethrow_exception(error);
+    sim::SimOptions simOptions = armedOptions;
+    while (true) {
+      const std::uint64_t ordinal =
+          nextOrdinal.fetch_add(1, std::memory_order_relaxed);
+      if (ordinal >= trace.size()) {
+        break;
       }
+      classifyOrdinal(ordinal, simOptions,
+                      runner.has_value() ? &*runner : nullptr,
+                      sweep.has_value() ? &*sweep : nullptr, partial[w]);
     }
-  }
+  });
 
   GroundTruthReport report;
   report.defInsns = golden.defInsns;

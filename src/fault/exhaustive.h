@@ -49,6 +49,11 @@ struct ExhaustiveOptions {
   // Safety valve for accidental use on big workloads: enumeration refuses
   // (throws) if the site space exceeds this.  0 = unlimited.
   std::uint64_t maxSites = 0;
+  // Execution strategy for the faulty runs (see InjectionMode).  The
+  // ordinal-major site order makes enumeration the ideal checkpoint
+  // customer: one golden-prefix snapshot at dynamic def d serves all
+  // (register x bit) sites at d.
+  InjectionMode mode = InjectionMode::kCheckpointed;
   sim::SimOptions simOptions;
 };
 

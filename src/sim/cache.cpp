@@ -32,6 +32,28 @@ void CacheLevel::reset() {
   stats_ = CacheLevelStats{};
 }
 
+void CacheLevel::setCheckpoint() {
+  undoArmed_ = true;
+  undo_.clear();
+  saved_ = {clock_, epoch_, stats_};
+}
+
+void CacheLevel::rewindToCheckpoint() {
+  CASTED_CHECK(undoArmed_) << config_.name << ": no live cache checkpoint";
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    ways_[it->way] = it->old;
+  }
+  undo_.clear();
+  clock_ = saved_.clock;
+  epoch_ = saved_.epoch;
+  stats_ = saved_.stats;
+}
+
+void CacheLevel::dropCheckpoint() {
+  undoArmed_ = false;
+  undo_.clear();
+}
+
 CacheHierarchy::CacheHierarchy(const arch::CacheConfig& config)
     : memoryLatency_(config.memoryLatency) {
   config.validate();
@@ -46,6 +68,26 @@ void CacheHierarchy::reset() {
     level.reset();
   }
   memoryAccesses_ = 0;
+}
+
+void CacheHierarchy::setCheckpoint() {
+  for (CacheLevel& level : levels_) {
+    level.setCheckpoint();
+  }
+  savedMemoryAccesses_ = memoryAccesses_;
+}
+
+void CacheHierarchy::rewindToCheckpoint() {
+  for (CacheLevel& level : levels_) {
+    level.rewindToCheckpoint();
+  }
+  memoryAccesses_ = savedMemoryAccesses_;
+}
+
+void CacheHierarchy::dropCheckpoint() {
+  for (CacheLevel& level : levels_) {
+    level.dropCheckpoint();
+  }
 }
 
 const CacheLevelStats& CacheHierarchy::levelStats(std::size_t level) const {

@@ -43,6 +43,7 @@ class CacheLevel {
     Way* base = &ways_[set * config_.associativity];
     for (std::uint32_t w = 0; w < config_.associativity; ++w) {
       if (base[w].epoch == epoch_ && base[w].tag == tag) {
+        noteMutation(&base[w]);
         base[w].lastUse = clock_;
         ++stats_.hits;
         return true;
@@ -68,6 +69,7 @@ class CacheLevel {
         victim = &base[w];
       }
     }
+    noteMutation(victim);
     victim->epoch = epoch_;
     victim->tag = tag;
     victim->lastUse = clock_;
@@ -81,6 +83,17 @@ class CacheLevel {
   // only ever compares `lastUse` between ways of the current epoch.
   void reset();
 
+  // Checkpoint support, mirroring Memory: between setCheckpoint() and
+  // rewindToCheckpoint() every way mutation records its pre-image, and the
+  // rewind replays them backwards plus restores the scalar state (clock,
+  // epoch, stats) by value — O(accesses since the mark), never O(way
+  // array).  Cache metadata is timing state the reconvergence cutoff
+  // (DESIGN.md) compares implicitly via cycle counts, so it must rewind
+  // bit-exactly with the architectural state.
+  void setCheckpoint();
+  void rewindToCheckpoint();
+  void dropCheckpoint();
+
   const CacheLevelStats& stats() const { return stats_; }
   const arch::CacheLevelConfig& config() const { return config_; }
 
@@ -90,6 +103,21 @@ class CacheLevel {
     std::uint64_t lastUse = 0;
     std::uint64_t epoch = 0;  // valid iff equal to the level's epoch_
   };
+  struct WayUndo {
+    std::size_t way = 0;  // index into ways_
+    Way old;
+  };
+  struct SavedScalars {
+    std::uint64_t clock = 0;
+    std::uint64_t epoch = 0;
+    CacheLevelStats stats;
+  };
+
+  void noteMutation(const Way* way) {
+    if (undoArmed_) {
+      undo_.push_back({static_cast<std::size_t>(way - ways_.data()), *way});
+    }
+  }
 
   // Block size and set count are powers of two (checked in the
   // constructor), so the per-access index/tag math is two shifts and a
@@ -109,6 +137,9 @@ class CacheLevel {
   std::uint64_t clock_ = 0;
   std::uint64_t epoch_ = 1;  // ways start at 0, i.e. all invalid
   CacheLevelStats stats_;
+  std::vector<WayUndo> undo_;
+  SavedScalars saved_;
+  bool undoArmed_ = false;
 };
 
 // The full hierarchy.
@@ -137,6 +168,12 @@ class CacheHierarchy {
 
   void reset();
 
+  // Checkpoint the whole hierarchy (per-level undo logs + the main-memory
+  // access counter).  See CacheLevel::setCheckpoint.
+  void setCheckpoint();
+  void rewindToCheckpoint();
+  void dropCheckpoint();
+
   const CacheLevelStats& levelStats(std::size_t level) const;
   std::uint64_t memoryAccesses() const { return memoryAccesses_; }
 
@@ -144,6 +181,7 @@ class CacheHierarchy {
   std::vector<CacheLevel> levels_;
   std::uint32_t memoryLatency_;
   std::uint64_t memoryAccesses_ = 0;
+  std::uint64_t savedMemoryAccesses_ = 0;
 };
 
 }  // namespace casted::sim

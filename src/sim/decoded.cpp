@@ -187,11 +187,70 @@ DecodedProgram DecodedProgram::build(const ir::Program& program,
   return decoded;
 }
 
+// Arena bases of one call frame (slots below these belong to callers).
+struct InterpFrameBase {
+  std::uint32_t gp = 0;
+  std::uint32_t fp = 0;
+  std::uint32_t pr = 0;
+};
+
+// One explicit call-stack frame of the iterative interpreter.  The recursive
+// runFunction of earlier revisions kept this state in C++ stack locals; an
+// explicit frame makes the whole machine state a value that ArchCheckpoint
+// can copy and restore.
+struct InterpFrame {
+  std::uint32_t func = 0;
+  std::uint32_t block = 0;
+  std::uint32_t node = 0;                       // resume position in block
+  std::uint32_t nextBlock = ir::kInvalidBlock;  // pending branch target
+  std::uint32_t retPool = 0;   // caller-side call-def list (pool offset)
+  std::uint32_t retCount = 0;  // kDiscardReturns for the entry frame
+  bool returned = false;       // a kRet already executed in this block
+  InterpFrameBase base;
+};
+
+// The snapshot behind sim::ArchCheckpoint: every piece of interpreter state
+// that is not covered by the Memory/CacheHierarchy undo logs, copied by
+// value.  Vectors keep their capacity across assignments, so repeated saves
+// into the same checkpoint do not allocate after the first.
+struct ArchCheckpoint::Data {
+  std::vector<std::int64_t> gp;
+  std::vector<double> fp;
+  std::vector<std::uint8_t> pr;
+  std::vector<std::uint64_t> addr;
+  std::vector<InterpFrame> frames;
+  RunStats stats;
+  std::uint64_t defOrdinal = 0;
+  std::size_t faultCursor = 0;
+  std::uint64_t nextFaultOrdinal = 0;
+  const FaultPlan* faultPlan = nullptr;
+  std::uint64_t generation = 0;  // must match the owner's live generation
+  const void* owner = nullptr;   // the interpreter that saved it
+};
+
+ArchCheckpoint::ArchCheckpoint() = default;
+ArchCheckpoint::~ArchCheckpoint() = default;
+ArchCheckpoint::ArchCheckpoint(ArchCheckpoint&&) noexcept = default;
+ArchCheckpoint& ArchCheckpoint::operator=(ArchCheckpoint&&) noexcept =
+    default;
+
 namespace {
+
+// What stopped the resumable core loop.
+enum class Flow : std::uint8_t {
+  kContinue,  // nothing did (internal: keep executing)
+  kFinished,  // the entry function returned
+  kPause,     // reached the runToDef() target ordinal
+  kCutoff,    // reconverged with the golden trajectory (see taintStep)
+};
 
 // The decoded interpreter.  Frames live in three per-class arenas (one
 // contiguous slab per register class) instead of per-call heap vectors; a
 // call pushes `regCount` zeroed slots per class and pops them on return.
+// Control state lives in an explicit InterpFrame stack, so execution can
+// pause at any dynamic def ordinal, be snapshotted/restored through
+// ArchCheckpoint, and resume — the machinery behind checkpoint-and-diverge
+// fault injection (sim/decoded.h).
 //
 // One Interp is a reusable context: reset() restores the fresh-construction
 // architectural state in time proportional to what the previous run touched
@@ -219,11 +278,45 @@ struct Interp {
   std::uint64_t defOrdinal = 0;
   std::uint64_t nextFaultOrdinal = kNoFault;
 
-  struct FrameBase {
-    std::uint32_t gp = 0;
-    std::uint32_t fp = 0;
-    std::uint32_t pr = 0;
-  };
+  using FrameBase = InterpFrameBase;
+
+  // The explicit call stack.  frames.back() is the executing frame; its
+  // `node` is only authoritative while paused or calling (the op loop runs
+  // on a local cursor and flushes it at those points).
+  std::vector<InterpFrame> frames;
+
+  // Stepwise-run state (begin/runToDef/injectAtPause/finish).
+  SimOptions stepOptions;  // storage backing `options` in stepwise mode
+  std::uint64_t pauseAt = kNoFault;  // runToDef target ordinal
+  bool stepMode = false;
+  bool started = false;
+  bool pausedAtDef = false;
+  bool finished = false;
+  RunResult result;
+  std::uint64_t checkpointGen = 0;  // invalidates outstanding checkpoints
+
+  // Reconvergence-cutoff state.  While `tracking`, the sets below hold every
+  // register slot / memory byte whose value MAY differ from the golden
+  // (fault-free) trajectory at the current execution point.  Empty sets with
+  // no pending flips prove the whole machine state is bit-identical to
+  // golden, so the run's remainder is the golden suffix and `goldenFinal`
+  // is its result.  The tracking is conservative: any approximation keeps
+  // slots tainted longer (delaying or forfeiting the cutoff), never the
+  // reverse, so a fired cutoff is always sound.  Linear-scan vectors: the
+  // sets stay tiny (give-up caps below) and are scanned per tracked op.
+  const RunResult* goldenFinal = nullptr;
+  bool tracking = false;
+  std::uint64_t trackBudget = 0;
+  std::vector<std::uint32_t> gpTaint;   // absolute arena slots
+  std::vector<std::uint32_t> fpTaint;
+  std::vector<std::uint32_t> prTaint;
+  std::vector<std::uint64_t> memTaint;  // absolute byte addresses
+  // Give-up bounds: past these the bookkeeping would cost more than the
+  // cutoff saves, so tracking turns off and the run simply executes to its
+  // natural end (still exact, just not shortcut).
+  static constexpr std::size_t kMaxRegTaint = 64;
+  static constexpr std::size_t kMaxMemTaint = 512;
+  static constexpr std::uint64_t kTrackWindow = 4096;  // defs after inject
 
   explicit Interp(const DecodedProgram& program)
       : prog(program),
@@ -236,7 +329,12 @@ struct Interp {
 
   // Restores fresh-context state and arms the run with `opts`.
   void reset(const SimOptions& opts) {
+    CASTED_CHECK(opts.faultPlan == nullptr || opts.defTrace == nullptr)
+        << "SimOptions::defTrace must stay null in injection runs (the trace "
+           "belongs to the golden profiling run)";
     options = &opts;
+    memory.dropCheckpoint();
+    caches.dropCheckpoint();
     if (opts.heapBytes != heapBytes) {
       memory = Memory(prog.globalImage(), opts.heapBytes);
       memory.enableWriteLog();
@@ -259,6 +357,17 @@ struct Interp {
     if (opts.defTrace != nullptr) {
       opts.defTrace->clear();
     }
+    frames.clear();
+    pauseAt = kNoFault;
+    stepMode = false;
+    started = false;
+    pausedAtDef = false;
+    finished = false;
+    result = RunResult{};
+    ++checkpointGen;  // outstanding checkpoints are now stale
+    goldenFinal = nullptr;
+    giveUpTracking();
+    trackBudget = 0;
   }
 
   // Reads one register as raw bits; the marshalling used for call arguments
@@ -320,6 +429,298 @@ struct Interp {
         prStack[frame.pr + target.slot] ^= 1;
         break;
     }
+    if (tracking) {
+      // Seed the divergence: the flipped slot is the only state that differs
+      // from the golden trajectory at this instant.
+      setRegTaint(frame, target, true);
+    }
+  }
+
+  // ---- Reconvergence taint tracking ----
+
+  void giveUpTracking() {
+    // Forfeits the cutoff for the rest of this run; execution stays exact.
+    tracking = false;
+    gpTaint.clear();
+    fpTaint.clear();
+    prTaint.clear();
+    memTaint.clear();
+  }
+
+  static bool taintHas(const std::vector<std::uint32_t>& set,
+                       std::uint32_t slot) {
+    return std::find(set.begin(), set.end(), slot) != set.end();
+  }
+
+  void setTaint(std::vector<std::uint32_t>& set, std::uint32_t slot,
+                bool on) {
+    if (!tracking) {
+      return;
+    }
+    const auto it = std::find(set.begin(), set.end(), slot);
+    if (on) {
+      if (it == set.end()) {
+        if (set.size() >= kMaxRegTaint) {
+          giveUpTracking();
+          return;
+        }
+        set.push_back(slot);
+      }
+    } else if (it != set.end()) {
+      *it = set.back();
+      set.pop_back();
+    }
+  }
+
+  bool regTaint(const FrameBase& frame, const DecodedReg& reg) const {
+    switch (static_cast<RegClass>(reg.cls)) {
+      case RegClass::kGp:
+        return taintHas(gpTaint, frame.gp + reg.slot);
+      case RegClass::kFp:
+        return taintHas(fpTaint, frame.fp + reg.slot);
+      case RegClass::kPr:
+        return taintHas(prTaint, frame.pr + reg.slot);
+    }
+    CASTED_UNREACHABLE("bad RegClass");
+  }
+
+  void setRegTaint(const FrameBase& frame, const DecodedReg& reg, bool on) {
+    switch (static_cast<RegClass>(reg.cls)) {
+      case RegClass::kGp:
+        setTaint(gpTaint, frame.gp + reg.slot, on);
+        break;
+      case RegClass::kFp:
+        setTaint(fpTaint, frame.fp + reg.slot, on);
+        break;
+      case RegClass::kPr:
+        setTaint(prTaint, frame.pr + reg.slot, on);
+        break;
+    }
+  }
+
+  bool memTainted(std::uint64_t address, std::uint32_t width) const {
+    for (const std::uint64_t byte : memTaint) {
+      if (byte - address < width) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void setMemTaint(std::uint64_t address, std::uint32_t width, bool on) {
+    for (std::uint32_t i = 0; i < width; ++i) {
+      if (!tracking) {
+        return;
+      }
+      const std::uint64_t byte = address + i;
+      const auto it = std::find(memTaint.begin(), memTaint.end(), byte);
+      if (on) {
+        if (it == memTaint.end()) {
+          if (memTaint.size() >= kMaxMemTaint) {
+            giveUpTracking();
+            return;
+          }
+          memTaint.push_back(byte);
+        }
+      } else if (it != memTaint.end()) {
+        *it = memTaint.back();
+        memTaint.pop_back();
+      }
+    }
+  }
+
+  // Erases every taint belonging to a popped frame (its slots are dead; the
+  // golden run's slots at the same ordinals die identically).
+  void dropFrameTaint(const FrameBase& base) {
+    const auto eraseFrom = [](std::vector<std::uint32_t>& set,
+                              std::uint32_t floor) {
+      for (std::size_t i = 0; i < set.size();) {
+        if (set[i] >= floor) {
+          set[i] = set.back();
+          set.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    };
+    eraseFrom(gpTaint, base.gp);
+    eraseFrom(fpTaint, base.fp);
+    eraseFrom(prTaint, base.pr);
+  }
+
+  // Post-execution taint transfer for one op: a def becomes tainted iff any
+  // input may differ from golden; clean stores scrub memory bytes; tainted
+  // control (branch predicates) or tainted access addresses end tracking —
+  // after either, execution points, cache state or touched bytes may drift
+  // from the golden trajectory in ways these sets do not model.  Runs only
+  // while `tracking`, after the op executed and before its def bookkeeping
+  // (so a multi-point plan's later flip re-taints its target afterwards).
+  void taintStep(const MicroOp& u, const FrameBase& f, std::uint32_t node) {
+    switch (u.op) {
+      case Opcode::kNop:
+      case Opcode::kBr:
+      case Opcode::kCheckG:   // compare-only: no def, no state change
+      case Opcode::kCheckF:
+      case Opcode::kCheckP:
+      case Opcode::kTrapIf:
+      case Opcode::kCall:  // args taint at pushFrame, defs at ret writeback
+      case Opcode::kRet:   // writeback handled by the execute case
+      case Opcode::kHalt:  // unwound before taint runs
+        break;
+      case Opcode::kMovImm:
+        setTaint(gpTaint, f.gp + u.def, false);
+        break;
+      case Opcode::kMov:
+      case Opcode::kNot:
+      case Opcode::kNeg:
+      case Opcode::kAbs:
+      case Opcode::kAddImm:
+      case Opcode::kMulImm:
+      case Opcode::kAndImm:
+      case Opcode::kShlImm:
+      case Opcode::kShrImm:
+      case Opcode::kSraImm:
+        setTaint(gpTaint, f.gp + u.def, taintHas(gpTaint, f.gp + u.a));
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kRem:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kSra:
+      case Opcode::kMin:
+      case Opcode::kMax:
+        setTaint(gpTaint, f.gp + u.def,
+                 taintHas(gpTaint, f.gp + u.a) ||
+                     taintHas(gpTaint, f.gp + u.b));
+        break;
+      case Opcode::kSelect:
+        // Conservative: a tainted predicate may pick the other arm.
+        setTaint(gpTaint, f.gp + u.def,
+                 taintHas(prTaint, f.pr + u.a) ||
+                     taintHas(gpTaint, f.gp + u.b) ||
+                     taintHas(gpTaint, f.gp + u.c));
+        break;
+      case Opcode::kCmpEq:
+      case Opcode::kCmpNe:
+      case Opcode::kCmpLt:
+      case Opcode::kCmpLe:
+      case Opcode::kCmpGt:
+      case Opcode::kCmpGe:
+        setTaint(prTaint, f.pr + u.def,
+                 taintHas(gpTaint, f.gp + u.a) ||
+                     taintHas(gpTaint, f.gp + u.b));
+        break;
+      case Opcode::kCmpEqImm:
+      case Opcode::kCmpNeImm:
+      case Opcode::kCmpLtImm:
+      case Opcode::kCmpLeImm:
+      case Opcode::kCmpGtImm:
+      case Opcode::kCmpGeImm:
+        setTaint(prTaint, f.pr + u.def, taintHas(gpTaint, f.gp + u.a));
+        break;
+      case Opcode::kPMov:
+      case Opcode::kPNot:
+        setTaint(prTaint, f.pr + u.def, taintHas(prTaint, f.pr + u.a));
+        break;
+      case Opcode::kPAnd:
+      case Opcode::kPOr:
+      case Opcode::kPXor:
+        setTaint(prTaint, f.pr + u.def,
+                 taintHas(prTaint, f.pr + u.a) ||
+                     taintHas(prTaint, f.pr + u.b));
+        break;
+      case Opcode::kPSetImm:
+        setTaint(prTaint, f.pr + u.def, false);
+        break;
+      case Opcode::kFMovImm:
+        setTaint(fpTaint, f.fp + u.def, false);
+        break;
+      case Opcode::kFMov:
+      case Opcode::kFNeg:
+      case Opcode::kFAbs:
+      case Opcode::kFSqrt:
+        setTaint(fpTaint, f.fp + u.def, taintHas(fpTaint, f.fp + u.a));
+        break;
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+      case Opcode::kFMin:
+      case Opcode::kFMax:
+        setTaint(fpTaint, f.fp + u.def,
+                 taintHas(fpTaint, f.fp + u.a) ||
+                     taintHas(fpTaint, f.fp + u.b));
+        break;
+      case Opcode::kFCmpEq:
+      case Opcode::kFCmpLt:
+      case Opcode::kFCmpLe:
+      case Opcode::kFCmpNeBits:
+        setTaint(prTaint, f.pr + u.def,
+                 taintHas(fpTaint, f.fp + u.a) ||
+                     taintHas(fpTaint, f.fp + u.b));
+        break;
+      case Opcode::kI2F:
+        setTaint(fpTaint, f.fp + u.def, taintHas(gpTaint, f.gp + u.a));
+        break;
+      case Opcode::kF2I:
+        setTaint(gpTaint, f.gp + u.def, taintHas(fpTaint, f.fp + u.a));
+        break;
+      case Opcode::kLoad:
+        if (taintHas(gpTaint, f.gp + u.a)) {
+          giveUpTracking();  // divergent address: cache state drifts
+          break;
+        }
+        setTaint(gpTaint, f.gp + u.def, memTainted(addr[node], 8));
+        break;
+      case Opcode::kLoadB:
+        if (taintHas(gpTaint, f.gp + u.a)) {
+          giveUpTracking();
+          break;
+        }
+        setTaint(gpTaint, f.gp + u.def, memTainted(addr[node], 1));
+        break;
+      case Opcode::kFLoad:
+        if (taintHas(gpTaint, f.gp + u.a)) {
+          giveUpTracking();
+          break;
+        }
+        setTaint(fpTaint, f.fp + u.def, memTainted(addr[node], 8));
+        break;
+      case Opcode::kStore:
+        if (taintHas(gpTaint, f.gp + u.a)) {
+          giveUpTracking();
+          break;
+        }
+        setMemTaint(addr[node], 8, taintHas(gpTaint, f.gp + u.b));
+        break;
+      case Opcode::kStoreB:
+        if (taintHas(gpTaint, f.gp + u.a)) {
+          giveUpTracking();
+          break;
+        }
+        setMemTaint(addr[node], 1, taintHas(gpTaint, f.gp + u.b));
+        break;
+      case Opcode::kFStore:
+        if (taintHas(gpTaint, f.gp + u.a)) {
+          giveUpTracking();
+          break;
+        }
+        setMemTaint(addr[node], 8, taintHas(fpTaint, f.fp + u.b));
+        break;
+      case Opcode::kBrCond:
+        if (taintHas(prTaint, f.pr + u.a)) {
+          giveUpTracking();  // control may diverge from golden
+        }
+        break;
+      case Opcode::kOpcodeCount:
+        CASTED_UNREACHABLE("bad opcode");
+    }
   }
 
   void chargeBlockTiming(const DecodedFunction& fn, const DecodedBlock& blk) {
@@ -346,48 +747,106 @@ struct Interp {
     ++stats.blockExecutions;
   }
 
-  // Executes function `funcIdx` until it returns.  Arguments are copied from
-  // the caller frame via the pool list at [argPool, argPool+argCount);
-  // returned values are written back to the caller's call-def list at
-  // [retPool, retPool+retCount) — or discarded for the entry invocation
-  // (retCount == kDiscardReturns).
-  void runFunction(std::uint32_t funcIdx, std::uint32_t argPool,
-                   std::uint32_t argCount, FrameBase caller,
-                   std::uint32_t retPool, std::uint32_t retCount,
-                   std::uint32_t depth) {
-    if (depth > options->maxCallDepth) {
+  // Pushes a frame for `funcIdx` and marshals its arguments from the caller
+  // frame via the pool list at [argPool, argPool+argCount); returned values
+  // will be written back to the caller's call-def list at retPool — or
+  // discarded for the entry invocation (retCount == kDiscardReturns).
+  // Ordering matches the recursive interpreter this replaced bit for bit:
+  // depth check, argument-count check, arena push, argument copy, then the
+  // timeout check that used to sit at the head of the callee's run loop.
+  void pushFrame(std::uint32_t funcIdx, std::uint32_t argPool,
+                 std::uint32_t argCount, FrameBase caller,
+                 std::uint32_t retPool, std::uint32_t retCount) {
+    if (frames.size() > options->maxCallDepth) {
       throw TrapError{TrapKind::kStackOverflow, 0};
     }
     const DecodedFunction& fn = prog.functions()[funcIdx];
     CASTED_CHECK(argCount == fn.params.size())
         << "bad argument count calling @" << fn.name;
 
-    FrameBase self{static_cast<std::uint32_t>(gpStack.size()),
-                   static_cast<std::uint32_t>(fpStack.size()),
-                   static_cast<std::uint32_t>(prStack.size())};
-    gpStack.resize(self.gp + fn.regCount[0], 0);
-    fpStack.resize(self.fp + fn.regCount[1], 0.0);
-    prStack.resize(self.pr + fn.regCount[2], 0);
+    InterpFrame f;
+    f.func = funcIdx;
+    f.retPool = retPool;
+    f.retCount = retCount;
+    f.base = FrameBase{static_cast<std::uint32_t>(gpStack.size()),
+                       static_cast<std::uint32_t>(fpStack.size()),
+                       static_cast<std::uint32_t>(prStack.size())};
+    gpStack.resize(f.base.gp + fn.regCount[0], 0);
+    fpStack.resize(f.base.fp + fn.regCount[1], 0.0);
+    prStack.resize(f.base.pr + fn.regCount[2], 0);
     for (std::uint32_t i = 0; i < argCount; ++i) {
-      writeBits(self, fn.params[i],
+      writeBits(f.base, fn.params[i],
                 readBits(caller, prog.pool()[argPool + i]));
     }
-
-    std::uint32_t current = 0;
-    while (true) {
-      if (stats.cycles > options->maxCycles) {
-        throw TimeoutSignal{};
+    if (tracking) {
+      // Fresh slots are zero in both trajectories; arguments inherit the
+      // caller's taint.
+      for (std::uint32_t i = 0; i < argCount; ++i) {
+        setRegTaint(f.base, fn.params[i],
+                    regTaint(caller, prog.pool()[argPool + i]));
       }
-      const DecodedBlock& blk = fn.blocks[current];
+    }
+    frames.push_back(f);
+    if (stats.cycles > options->maxCycles) {
+      throw TimeoutSignal{};
+    }
+  }
+
+  // Def bookkeeping, shared by every def-producing op including calls
+  // (invoked after the callee's returns were written back).  The first half
+  // (counting + trace) runs before a potential runToDef pause; finishDef is
+  // the post-pause half.
+  Flow noteDef(const MicroOp& u, const InterpFrame& f, std::uint32_t node) {
+    ++stats.dynamicDefInsns;
+    if (options->defTrace != nullptr) {
+      options->defTrace->push_back({f.func, f.block, node});
+    }
+    if (defOrdinal == pauseAt) {
+      return Flow::kPause;
+    }
+    return finishDef(u, f.base);
+  }
+
+  // Fault check, ordinal advance, and the reconvergence-cutoff test: empty
+  // taint sets with no flips pending prove every register, memory byte,
+  // cache way and statistic equals the golden trajectory at this ordinal,
+  // so the remaining execution is exactly the golden suffix.
+  Flow finishDef(const MicroOp& u, const FrameBase& base) {
+    if (defOrdinal == nextFaultOrdinal) {
+      injectFault(u, base);
+    }
+    ++defOrdinal;
+    if (tracking) {
+      if (--trackBudget == 0) {
+        giveUpTracking();
+      } else if (nextFaultOrdinal == kNoFault && gpTaint.empty() &&
+                 fpTaint.empty() && prTaint.empty() && memTaint.empty()) {
+        return Flow::kCutoff;
+      }
+    }
+    return Flow::kContinue;
+  }
+
+  // The core loop: executes frames.back() until the entry function returns,
+  // a runToDef pause ordinal is reached, or the cutoff fires.  Signals
+  // (halt/detect/trap/timeout) unwind as exceptions into drive().
+  Flow exec() {
+    while (true) {
+      InterpFrame& f = frames.back();
+      const DecodedFunction& fn = prog.functions()[f.func];
+      const DecodedBlock& blk = fn.blocks[f.block];
       const MicroOp* ops = fn.ops.data() + blk.firstOp;
-      // Frame pointers are refreshed per block and after every call — the
-      // arenas may reallocate while a callee runs.
-      std::int64_t* gp = gpStack.data() + self.gp;
-      double* fp = fpStack.data() + self.fp;
-      std::uint8_t* pr = prStack.data() + self.pr;
-      std::uint32_t next = ir::kInvalidBlock;
-      bool returned = false;
-      for (std::uint32_t node = 0; node < blk.opCount; ++node) {
+      // Raw pointers are safe within the op loop: the arenas only grow at a
+      // call, and a call breaks out to re-derive everything (including `f`,
+      // which frames.push_back invalidates).
+      std::int64_t* gp = gpStack.data() + f.base.gp;
+      double* fp = fpStack.data() + f.base.fp;
+      std::uint8_t* pr = prStack.data() + f.base.pr;
+      std::uint32_t next = f.nextBlock;
+      bool returned = f.returned;
+      bool pushed = false;
+      std::uint32_t node = f.node;
+      for (; node < blk.opCount; ++node) {
         const MicroOp& u = ops[node];
         ++stats.dynamicInsns;
         switch (u.op) {
@@ -693,20 +1152,30 @@ struct Interp {
             next = pr[u.a] != 0 ? u.t1 : u.t2;
             break;
           case Opcode::kCall: {
-            runFunction(u.t1, u.a, u.b, self, u.c, u.defCount, depth + 1);
-            gp = gpStack.data() + self.gp;
-            fp = fpStack.data() + self.fp;
-            pr = prStack.data() + self.pr;
+            // Flush the cursor and push the callee; the call op's own def
+            // bookkeeping runs when the callee's frame pops.
+            f.node = node;
+            f.nextBlock = next;
+            f.returned = returned;
+            pushFrame(u.t1, u.a, u.b, f.base, u.c, u.defCount);
+            pushed = true;  // `f` is dangling now (frames reallocated)
             break;
           }
           case Opcode::kRet: {
-            if (retCount != kDiscardReturns) {
-              CASTED_CHECK(u.b == retCount)
+            if (f.retCount != kDiscardReturns) {
+              CASTED_CHECK(u.b == f.retCount)
                   << "@" << fn.name << " returned " << u.b
-                  << " values, caller expects " << retCount;
+                  << " values, caller expects " << f.retCount;
+              const FrameBase caller = frames[frames.size() - 2].base;
               for (std::uint32_t i = 0; i < u.b; ++i) {
-                writeBits(caller, prog.pool()[retPool + i],
-                          readBits(self, prog.pool()[u.a + i]));
+                writeBits(caller, prog.pool()[f.retPool + i],
+                          readBits(f.base, prog.pool()[u.a + i]));
+              }
+              if (tracking) {
+                for (std::uint32_t i = 0; i < u.b; ++i) {
+                  setRegTaint(caller, prog.pool()[f.retPool + i],
+                              regTaint(f.base, prog.pool()[u.a + i]));
+                }
               }
             }
             returned = true;
@@ -718,50 +1187,127 @@ struct Interp {
           case Opcode::kOpcodeCount:
             CASTED_UNREACHABLE("bad opcode");
         }
-        // Def bookkeeping + fault injection, shared by every def-producing
-        // opcode including calls (whose defs were just written back).
-        if (u.defCount != 0) {
-          ++stats.dynamicDefInsns;
-          if (options->defTrace != nullptr) {
-            options->defTrace->push_back({funcIdx, current, node});
-          }
-          if (defOrdinal == nextFaultOrdinal) {
-            injectFault(u, self);
-          }
-          ++defOrdinal;
+        if (pushed) {
+          break;  // enter the callee frame
         }
+        if (tracking) {
+          taintStep(u, f.base, node);
+        }
+        if (u.defCount != 0) {
+          const Flow flow = noteDef(u, f, node);
+          if (flow != Flow::kContinue) {
+            f.node = node;
+            f.nextBlock = next;
+            f.returned = returned;
+            return flow;
+          }
+        }
+      }
+      if (pushed) {
+        continue;  // run the callee; the call op completes at its pop
       }
       chargeBlockTiming(fn, blk);
       if (returned) {
-        break;
+        // Pop the frame, then complete the caller's pending call op (its
+        // defs were written back by the kRet above).
+        const FrameBase base = f.base;
+        gpStack.resize(base.gp);
+        fpStack.resize(base.fp);
+        prStack.resize(base.pr);
+        if (tracking) {
+          dropFrameTaint(base);
+        }
+        frames.pop_back();
+        if (frames.empty()) {
+          return Flow::kFinished;  // the entry function returned
+        }
+        InterpFrame& caller = frames.back();
+        const DecodedFunction& cfn = prog.functions()[caller.func];
+        const MicroOp& call =
+            cfn.ops[cfn.blocks[caller.block].firstOp + caller.node];
+        if (call.defCount != 0) {
+          const Flow flow = noteDef(call, caller, caller.node);
+          if (flow != Flow::kContinue) {
+            return flow;  // caller.node still points at the call op
+          }
+        }
+        ++caller.node;
+        continue;
       }
       CASTED_CHECK(next != ir::kInvalidBlock)
-          << "block bb" << current << " of @" << fn.name
+          << "block bb" << f.block << " of @" << fn.name
           << " fell through without a branch";
-      current = next;
+      f.block = next;
+      f.node = 0;
+      f.nextBlock = ir::kInvalidBlock;
+      f.returned = false;
+      if (stats.cycles > options->maxCycles) {
+        throw TimeoutSignal{};
+      }
     }
-    gpStack.resize(self.gp);
-    fpStack.resize(self.fp);
-    prStack.resize(self.pr);
   }
 
-  RunResult run() {
-    RunResult result;
+  // Completes the def bookkeeping a pause interrupted — the paused op's
+  // counting and trace already ran, so only the fault check / ordinal
+  // advance / cutoff test remain — then steps past the op.
+  Flow finishPausedDef() {
+    InterpFrame& f = frames.back();
+    const DecodedFunction& fn = prog.functions()[f.func];
+    const MicroOp& u = fn.ops[fn.blocks[f.block].firstOp + f.node];
+    const Flow flow = finishDef(u, f.base);
+    if (flow == Flow::kContinue) {
+      ++f.node;
+    }
+    return flow;
+  }
+
+  // Runs or resumes until a pause, the cutoff, or completion.  Returns true
+  // while paused at a def; otherwise `result` is final and `finished` set.
+  bool drive() {
+    CASTED_CHECK(!finished) << "run already complete";
     try {
-      runFunction(prog.entryFunction(), 0, 0, FrameBase{}, 0,
-                  kDiscardReturns, 0);
-      // Entry returned without halting: a clean exit with code 0.
+      if (!started) {
+        started = true;
+        pushFrame(prog.entryFunction(), 0, 0, FrameBase{}, 0,
+                  kDiscardReturns);
+      }
+      Flow flow = Flow::kContinue;
+      if (pausedAtDef) {
+        pausedAtDef = false;
+        flow = finishPausedDef();
+      }
+      if (flow == Flow::kContinue) {
+        flow = exec();
+      }
+      if (flow == Flow::kPause) {
+        pausedAtDef = true;
+        return true;
+      }
+      if (flow == Flow::kCutoff) {
+        // Provably bit-identical to the fault-free trajectory with no flips
+        // pending: the rest of the run IS the golden suffix, so its final
+        // result (stats, output, exit state) is this run's result verbatim.
+        result = *goldenFinal;
+        finished = true;
+        return false;
+      }
+      // The entry function returned without halting: clean exit, code 0.
+      result = RunResult{};
       result.exit = ExitKind::kHalted;
       result.exitCode = 0;
     } catch (const HaltSignal& halt) {
+      result = RunResult{};
       result.exit = ExitKind::kHalted;
       result.exitCode = halt.exitCode;
     } catch (const DetectedSignal&) {
+      result = RunResult{};
       result.exit = ExitKind::kDetected;
     } catch (const TrapError& trap) {
+      result = RunResult{};
       result.exit = ExitKind::kException;
       result.trap = trap.kind;
     } catch (const TimeoutSignal&) {
+      result = RunResult{};
       result.exit = ExitKind::kTimeout;
     }
     for (int level = 0; level < 3; ++level) {
@@ -774,6 +1320,115 @@ struct Interp {
         result.output = memory.snapshot(sym.address, sym.size);
         break;
       }
+    }
+    finished = true;
+    return false;
+  }
+
+  // Whole-run execution; reset() must have armed `options` first.
+  RunResult run() {
+    pauseAt = kNoFault;
+    const bool paused = drive();
+    CASTED_CHECK(!paused);
+    return result;
+  }
+
+  // ---- Stepwise API (see DecodedRunner) ----
+
+  void begin(const SimOptions& opts) {
+    CASTED_CHECK(opts.faultPlan == nullptr)
+        << "stepwise runs inject via injectAtPause, not SimOptions";
+    CASTED_CHECK(opts.defTrace == nullptr)
+        << "a def trace cannot be rewound across checkpoint restores";
+    stepOptions = opts;
+    reset(stepOptions);
+    stepMode = true;
+  }
+
+  bool runToDef(std::uint64_t ordinal) {
+    CASTED_CHECK(stepMode) << "runToDef requires begin()";
+    CASTED_CHECK(!finished) << "run already complete";
+    CASTED_CHECK(pausedAtDef ? ordinal > defOrdinal : ordinal >= defOrdinal)
+        << "cannot rewind to def " << ordinal << " (at " << defOrdinal
+        << "); restore a checkpoint instead";
+    pauseAt = ordinal;
+    const bool paused = drive();
+    pauseAt = kNoFault;
+    return paused;
+  }
+
+  void saveCheckpoint(ArchCheckpoint::Data& d) {
+    CASTED_CHECK(stepMode && pausedAtDef)
+        << "checkpoints are taken while paused at a def";
+    d.gp = gpStack;
+    d.fp = fpStack;
+    d.pr = prStack;
+    d.addr = addr;
+    d.frames = frames;
+    d.stats = stats;
+    d.defOrdinal = defOrdinal;
+    d.faultCursor = faultCursor;
+    d.nextFaultOrdinal = nextFaultOrdinal;
+    d.faultPlan = stepOptions.faultPlan;
+    d.generation = ++checkpointGen;
+    d.owner = this;
+    memory.setCheckpoint();
+    caches.setCheckpoint();
+  }
+
+  void restoreCheckpoint(const ArchCheckpoint::Data& d) {
+    CASTED_CHECK(stepMode) << "restore requires begin()";
+    CASTED_CHECK(d.owner == this && d.generation == checkpointGen)
+        << "checkpoint is stale or belongs to another runner";
+    memory.rewindToCheckpoint();
+    caches.rewindToCheckpoint();
+    gpStack = d.gp;
+    fpStack = d.fp;
+    prStack = d.pr;
+    addr = d.addr;
+    frames = d.frames;
+    stats = d.stats;
+    defOrdinal = d.defOrdinal;
+    faultCursor = d.faultCursor;
+    nextFaultOrdinal = d.nextFaultOrdinal;
+    stepOptions.faultPlan = d.faultPlan;
+    pausedAtDef = true;
+    finished = false;
+    giveUpTracking();
+    trackBudget = 0;
+  }
+
+  void injectAtPause(const FaultPlan& plan) {
+    CASTED_CHECK(stepMode && pausedAtDef)
+        << "injection requires a def pause";
+    CASTED_CHECK(!plan.points.empty() &&
+                 plan.points[0].ordinal == defOrdinal)
+        << "plan must start at the paused ordinal";
+    stepOptions.faultPlan = &plan;
+    faultCursor = 0;
+    nextFaultOrdinal = plan.points[0].ordinal;
+    if (goldenFinal != nullptr) {
+      tracking = true;
+      trackBudget = kTrackWindow;
+      gpTaint.clear();
+      fpTaint.clear();
+      prTaint.clear();
+      memTaint.clear();
+    }
+    // Apply point 0 to the op we are paused on (injectFault advances the
+    // cursor to any later points, which fire during finish()).
+    InterpFrame& f = frames.back();
+    const DecodedFunction& fn = prog.functions()[f.func];
+    const MicroOp& u = fn.ops[fn.blocks[f.block].firstOp + f.node];
+    injectFault(u, f.base);
+  }
+
+  RunResult finishRun() {
+    CASTED_CHECK(stepMode) << "finish requires begin()";
+    if (!finished) {
+      pauseAt = kNoFault;
+      const bool paused = drive();
+      CASTED_CHECK(!paused);
     }
     return result;
   }
@@ -794,6 +1449,43 @@ DecodedRunner::~DecodedRunner() = default;
 RunResult DecodedRunner::run(const SimOptions& options) {
   impl_->interp.reset(options);
   return impl_->interp.run();
+}
+
+void DecodedRunner::begin(const SimOptions& options) {
+  impl_->interp.begin(options);
+}
+
+bool DecodedRunner::runToDef(std::uint64_t ordinal) {
+  return impl_->interp.runToDef(ordinal);
+}
+
+std::uint64_t DecodedRunner::pausedOrdinal() const {
+  CASTED_CHECK(impl_->interp.pausedAtDef) << "runner is not paused";
+  return impl_->interp.defOrdinal;
+}
+
+void DecodedRunner::saveCheckpoint(ArchCheckpoint& out) {
+  if (out.data_ == nullptr) {
+    out.data_ = std::make_unique<ArchCheckpoint::Data>();
+  }
+  impl_->interp.saveCheckpoint(*out.data_);
+}
+
+void DecodedRunner::restoreCheckpoint(const ArchCheckpoint& checkpoint) {
+  CASTED_CHECK(checkpoint.data_ != nullptr) << "checkpoint was never saved";
+  impl_->interp.restoreCheckpoint(*checkpoint.data_);
+}
+
+void DecodedRunner::setCutoffReference(const RunResult* golden) {
+  impl_->interp.goldenFinal = golden;
+}
+
+void DecodedRunner::injectAtPause(const FaultPlan& plan) {
+  impl_->interp.injectAtPause(plan);
+}
+
+RunResult DecodedRunner::finish() {
+  return impl_->interp.finishRun();
 }
 
 RunResult runDecoded(const DecodedProgram& program, const SimOptions& options) {

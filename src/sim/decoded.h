@@ -39,6 +39,7 @@
 namespace casted::sim {
 
 struct SimOptions;
+struct FaultPlan;
 
 // A register operand resolved to its frame slot (used for the variable-arity
 // operand lists of calls and returns, and for fault-injection targets).
@@ -127,6 +128,32 @@ class DecodedProgram {
   std::size_t maxBlockInsns_ = 0;
 };
 
+// An opaque snapshot of a DecodedRunner's complete mid-run state: register
+// arenas, call-stack frames, per-block scratch, run statistics, fault-plan
+// cursor — plus a mark in the runner's undo-logged memory and cache model.
+// Saved while the runner is paused at a dynamic def ordinal
+// (DecodedRunner::runToDef) and restored any number of times; restore cost
+// is O(state touched since the save), not O(heap).  A checkpoint is bound
+// to the runner that saved it and is invalidated by the runner's next
+// saveCheckpoint()/begin()/run() (enforced with a generation check).
+class ArchCheckpoint {
+ public:
+  ArchCheckpoint();
+  ~ArchCheckpoint();
+  ArchCheckpoint(ArchCheckpoint&&) noexcept;
+  ArchCheckpoint& operator=(ArchCheckpoint&&) noexcept;
+
+  ArchCheckpoint(const ArchCheckpoint&) = delete;
+  ArchCheckpoint& operator=(const ArchCheckpoint&) = delete;
+
+  // Opaque payload, defined (and only complete) inside decoded.cpp.
+  struct Data;
+
+ private:
+  friend class DecodedRunner;
+  std::unique_ptr<Data> data_;
+};
+
 // A reusable execution context over one DecodedProgram: the memory image,
 // cache hierarchy and register arenas are allocated once and recycled
 // between runs in O(state the previous run touched) — epoch-invalidated
@@ -147,6 +174,64 @@ class DecodedRunner {
   // same architectural state as a fresh context (the equivalence contract
   // holds run by run, regardless of what ran before).
   RunResult run(const SimOptions& options);
+
+  // ---- Stepwise execution (checkpoint-and-diverge injection) ----
+  //
+  // The injection drivers drive a run in pieces instead of whole:
+  //
+  //   runner.begin(options);                 // options.faultPlan must be null
+  //   runner.setCutoffReference(&golden);    // arms the reconvergence cutoff
+  //   runner.runToDef(d);                    // golden prefix, once per def
+  //   runner.saveCheckpoint(cp);
+  //   for (each site at d) {
+  //     runner.restoreCheckpoint(cp);
+  //     runner.injectAtPause(plan);          // plan.points[0].ordinal == d
+  //     RunResult faulty = runner.finish();
+  //   }
+  //
+  // The pause point sits inside the def bookkeeping of the instruction that
+  // produced dynamic def ordinal `d`: after its execution and def-count /
+  // def-trace accounting, immediately before the fault-injection check —
+  // exactly where a FaultPlan targeting `d` takes effect.  A finished or
+  // cut-off run yields a RunResult field-for-field identical to
+  // run(options-with-plan); tests/engine_differential_test.cpp and the
+  // driver oracle tests enforce this.
+
+  // Starts a stepwise run.  `options.faultPlan` and `options.defTrace` must
+  // be null (faults enter via injectAtPause; a def trace cannot be rewound).
+  void begin(const SimOptions& options);
+
+  // Advances to the pause point of def ordinal `ordinal` (>= the current
+  // position).  Returns true when paused there; false when the run finished
+  // first (its result is then available via finish()).
+  bool runToDef(std::uint64_t ordinal);
+
+  // The def ordinal of the current pause point.  Only valid while paused.
+  std::uint64_t pausedOrdinal() const;
+
+  // Snapshot / restore of the paused state.  save overwrites `out` (and
+  // invalidates any previous checkpoint of this runner); restore requires
+  // the runner's latest checkpoint.
+  void saveCheckpoint(ArchCheckpoint& out);
+  void restoreCheckpoint(const ArchCheckpoint& checkpoint);
+
+  // Arms the reconvergence cutoff: after an injection, the runner tracks a
+  // conservative taint set over registers and memory bytes, and the moment
+  // the set is empty (and no flips are pending) the live state is provably
+  // bit-identical to the fault-free trajectory, so the remaining execution
+  // is skipped and `*golden` — the fault-free final result, which must
+  // outlive the run — is returned verbatim.  Optional; without it every
+  // injected run executes to its natural end.
+  void setCutoffReference(const RunResult* golden);
+
+  // Injects `plan` while paused; plan.points[0].ordinal must equal
+  // pausedOrdinal() (later points fire during finish()).  `plan` must
+  // outlive the run.
+  void injectAtPause(const FaultPlan& plan);
+
+  // Runs the paused (or already finished) stepwise run to completion and
+  // returns its result.
+  RunResult finish();
 
  private:
   struct Impl;

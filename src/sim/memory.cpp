@@ -46,6 +46,29 @@ void Memory::resetLogged(const std::vector<std::uint8_t>& pristine) {
     }
   }
   log_.clear();
+  logMark_ = 0;
+}
+
+void Memory::setCheckpoint() {
+  CASTED_CHECK(logging_) << "memory checkpoints require the write log";
+  undoArmed_ = true;
+  undo_.clear();
+  logMark_ = log_.size();
+}
+
+void Memory::rewindToCheckpoint() {
+  CASTED_CHECK(undoArmed_) << "no live memory checkpoint";
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    std::memcpy(bytes_.data() + it->offset, &it->oldBits, it->width);
+  }
+  undo_.clear();
+  log_.resize(logMark_);
+}
+
+void Memory::dropCheckpoint() {
+  undoArmed_ = false;
+  undo_.clear();
+  logMark_ = 0;
 }
 
 std::vector<std::uint8_t> Memory::snapshot(std::uint64_t address,

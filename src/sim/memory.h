@@ -68,23 +68,17 @@ class Memory {
   }
   void writeU64(std::uint64_t address, std::uint64_t value) {
     const std::size_t offset = checkRange(address, 8);
-    if (logging_) {
-      log_.push_back({offset, 8});
-    }
+    noteWrite(offset, 8);
     std::memcpy(bytes_.data() + offset, &value, 8);
   }
   void writeU8(std::uint64_t address, std::uint8_t value) {
     const std::size_t offset = checkRange(address, 1);
-    if (logging_) {
-      log_.push_back({offset, 1});
-    }
+    noteWrite(offset, 1);
     bytes_[offset] = value;
   }
   void writeF64(std::uint64_t address, double value) {
     const std::size_t offset = checkRange(address, 8);
-    if (logging_) {
-      log_.push_back({offset, 8});
-    }
+    noteWrite(offset, 8);
     std::memcpy(bytes_.data() + offset, &value, 8);
   }
 
@@ -103,11 +97,42 @@ class Memory {
   void enableWriteLog();
   void resetLogged(const std::vector<std::uint8_t>& pristine);
 
+  // Checkpoint support for the decoded engine's golden-prefix restore
+  // (sim/decoded.h).  setCheckpoint() marks the current contents as the
+  // rewind target and starts recording each write's pre-image;
+  // rewindToCheckpoint() undoes every write since the mark in reverse order,
+  // so restore cost is O(bytes written since the mark), not O(arena).  One
+  // checkpoint is live at a time; a new setCheckpoint() replaces the mark,
+  // and rewinding can be repeated (the undo log re-accumulates after each
+  // rewind).  Requires the write log: rewinding also truncates `log_` back
+  // to the mark, which keeps resetLogged() exact — every byte the rewind
+  // restores holds its checkpoint-time value, and any such byte that differs
+  // from pristine was already covered by a pre-mark log entry.
+  void setCheckpoint();
+  void rewindToCheckpoint();
+  void dropCheckpoint();
+
  private:
   struct WriteRecord {
     std::size_t offset = 0;
     std::uint32_t width = 0;
   };
+  struct UndoRecord {
+    std::size_t offset = 0;
+    std::uint64_t oldBits = 0;  // pre-image, low `width` bytes
+    std::uint32_t width = 0;
+  };
+
+  void noteWrite(std::size_t offset, std::uint32_t width) {
+    if (logging_) {
+      log_.push_back({offset, width});
+    }
+    if (undoArmed_) {
+      std::uint64_t old = 0;
+      std::memcpy(&old, bytes_.data() + offset, width);
+      undo_.push_back({offset, old, width});
+    }
+  }
 
   std::size_t checkRange(std::uint64_t address, std::uint32_t width) const {
     if (address < ir::Program::kGlobalBase || address + width > arenaEnd() ||
@@ -122,7 +147,10 @@ class Memory {
 
   std::vector<std::uint8_t> bytes_;  // starts at kGlobalBase
   std::vector<WriteRecord> log_;
+  std::vector<UndoRecord> undo_;
+  std::size_t logMark_ = 0;  // log_.size() at setCheckpoint()
   bool logging_ = false;
+  bool undoArmed_ = false;
 };
 
 }  // namespace casted::sim

@@ -720,6 +720,9 @@ struct Simulator::Impl {
 
   RunResult run() {
     RunResult result;
+    CASTED_CHECK(options.faultPlan == nullptr || options.defTrace == nullptr)
+        << "SimOptions::defTrace must stay null in injection runs (the "
+           "trace belongs to the golden profiling run)";
     if (options.defTrace != nullptr) {
       options.defTrace->clear();
     }

@@ -53,8 +53,10 @@ struct SimOptions {
   // When non-null, the engine clears the vector at run start and appends the
   // static site of every dynamically executed def-producing instruction, in
   // def-ordinal order (so (*defTrace)[i] is the instruction FaultPoint
-  // ordinal i targets).  Identical for both engines.  Meant for golden runs;
-  // costs one push_back per def, so leave it null in injection loops.
+  // ordinal i targets).  Identical for both engines.  The trace belongs to
+  // the golden profiling run: both engines CHECK that it is null whenever
+  // faultPlan is set (it would cost a push_back per def in the hot injection
+  // loop, and a rewound stepwise run could not keep it consistent).
   std::vector<DefSite>* defTrace = nullptr;
 };
 

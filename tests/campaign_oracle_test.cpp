@@ -5,8 +5,9 @@
 //   * a NOED binary carries no CHECK instructions, so it can never report a
 //     detection;
 //   * the CoverageReport (outcome counts, trials, dynamicInsns) is
-//     bit-identical across thread counts AND across the two simulator
-//     engines — the campaign result is a pure function of
+//     bit-identical across thread counts, across the two simulator engines
+//     AND across the two injection modes (full rerun vs
+//     checkpoint-and-diverge) — the campaign result is a pure function of
 //     (binary, seed, trials);
 //   * the per-trial RNG derivation decorrelates adjacent trials and nearby
 //     master seeds (regression for the old `seed ^ trialIndex` scheme).
@@ -15,6 +16,7 @@
 #include <algorithm>
 #include <iterator>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -30,11 +32,13 @@ using passes::Scheme;
 
 CoverageReport runWith(const core::CompiledProgram& bin, std::uint32_t threads,
                        sim::Engine engine, std::uint32_t trials = 48,
-                       std::uint64_t seed = 0xCA57EDu) {
+                       std::uint64_t seed = 0xCA57EDu,
+                       InjectionMode mode = InjectionMode::kCheckpointed) {
   CampaignOptions options;
   options.trials = trials;
   options.threads = threads;
   options.seed = seed;
+  options.mode = mode;
   options.simOptions.engine = engine;
   return core::campaign(bin, options);
 }
@@ -78,30 +82,37 @@ TEST(CampaignOracleTest, NoedNeverDetects) {
   }
 }
 
-TEST(CampaignOracleTest, ReportBitIdenticalAcrossThreadsAndEngines) {
-  // The strongest determinism claim: 1, 2 and 8 workers on either engine
-  // all produce the same report — including the dynamicInsns work total,
-  // which would drift on any divergence in trial execution, not just on a
-  // changed outcome class.
+TEST(CampaignOracleTest, ReportBitIdenticalAcrossThreadsEnginesAndModes) {
+  // The strongest determinism claim: 1, 2 and 8 workers, either engine,
+  // full rerun or checkpoint-and-diverge — every combination produces the
+  // same report, including the dynamicInsns work total, which would drift
+  // on any divergence in trial execution, not just on a changed outcome
+  // class.  The baseline is the one-thread full-rerun campaign: the oracle
+  // path with no shared state between trials.
   const workloads::Workload wl = workloads::makeParser(1);
   const core::CompiledProgram bin =
       core::compile(wl.program, testutil::machine(2, 2), Scheme::kCasted);
   const std::uint32_t trials =
       static_cast<std::uint32_t>(testutil::testTrials(60));
 
-  const CoverageReport baseline =
-      runWith(bin, 1, sim::Engine::kDecoded, trials);
+  const CoverageReport baseline = runWith(bin, 1, sim::Engine::kDecoded,
+                                          trials, 0xCA57EDu,
+                                          InjectionMode::kFull);
   EXPECT_EQ(total(baseline), baseline.trials);
   for (const sim::Engine engine :
        {sim::Engine::kDecoded, sim::Engine::kReference}) {
-    for (const std::uint32_t threads : {1u, 2u, 8u}) {
-      const CoverageReport report = runWith(bin, threads, engine, trials);
-      EXPECT_EQ(report.counts, baseline.counts)
-          << sim::engineName(engine) << " x" << threads;
-      EXPECT_EQ(report.trials, baseline.trials)
-          << sim::engineName(engine) << " x" << threads;
-      EXPECT_EQ(report.dynamicInsns, baseline.dynamicInsns)
-          << sim::engineName(engine) << " x" << threads;
+    for (const InjectionMode mode :
+         {InjectionMode::kFull, InjectionMode::kCheckpointed}) {
+      for (const std::uint32_t threads : {1u, 2u, 8u}) {
+        const CoverageReport report =
+            runWith(bin, threads, engine, trials, 0xCA57EDu, mode);
+        const std::string context = std::string(sim::engineName(engine)) +
+                                    " " + injectionModeName(mode) + " x" +
+                                    std::to_string(threads);
+        EXPECT_EQ(report.counts, baseline.counts) << context;
+        EXPECT_EQ(report.trials, baseline.trials) << context;
+        EXPECT_EQ(report.dynamicInsns, baseline.dynamicInsns) << context;
+      }
     }
   }
 }

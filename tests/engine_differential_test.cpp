@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -127,6 +128,81 @@ TEST(EngineDifferentialTest, StraightLineAndLoopPrograms) {
       core::compile(testutil::makeLoopProgram(64), testutil::machine(2, 1),
                     Scheme::kDced);
   runDifferential(loop, "loop64", /*faultSeed=*/0xF00D, /*faultTrials=*/8);
+}
+
+// Property test for the stepwise checkpoint API (DESIGN.md §10): over random
+// programs under every scheme, a stepwise run that pauses at the injection
+// ordinal, snapshots, injects and finishes must equal the full-run oracle —
+// and after the faulty suffix has trampled registers, memory, caches and
+// statistics, restoring the snapshot and re-running must reproduce the very
+// same result bit for bit (and, with no injection, the golden result).
+TEST(EngineDifferentialTest, CheckpointRoundTripMatchesFullRuns) {
+  const std::size_t seeds = testutil::testTrials(100);
+  for (std::size_t seed = 0; seed < seeds; ++seed) {
+    const ir::Program source = testutil::makeRandomCfgProgram(seed);
+    const arch::MachineConfig config =
+        testutil::machine(2, seed % 2 == 0 ? 2 : 1);
+    const Scheme scheme =
+        passes::kAllSchemes[seed % std::size(passes::kAllSchemes)];
+    const core::CompiledProgram bin = core::compile(source, config, scheme);
+    const std::string label =
+        "checkpoint seed " + std::to_string(seed) + " " +
+        passes::schemeName(scheme);
+
+    SimOptions options;
+    const RunResult golden = runDecoded(*bin.decoded, options);
+    if (golden.exit != ExitKind::kHalted ||
+        golden.stats.dynamicDefInsns == 0) {
+      continue;
+    }
+    options.maxCycles = golden.stats.cycles * 20;
+
+    Rng rng(deriveStreamSeed(0xC4EC9017u, seed));
+    FaultPlan plan;
+    FaultPoint first;
+    first.ordinal = rng.nextBelow(golden.stats.dynamicDefInsns);
+    first.whichDef = static_cast<std::uint32_t>(rng.nextBelow(4));
+    first.bit = static_cast<std::uint32_t>(rng.nextBelow(64));
+    plan.points.push_back(first);
+    if (seed % 2 == 1 &&
+        first.ordinal + 1 < golden.stats.dynamicDefInsns) {
+      // A second flip downstream, so checkpoints also round-trip the
+      // fault-plan cursor state.
+      FaultPoint second;
+      second.ordinal =
+          first.ordinal + 1 +
+          rng.nextBelow(golden.stats.dynamicDefInsns - first.ordinal - 1);
+      second.whichDef = static_cast<std::uint32_t>(rng.nextBelow(4));
+      second.bit = static_cast<std::uint32_t>(rng.nextBelow(64));
+      plan.points.push_back(second);
+    }
+
+    SimOptions fullOptions = options;
+    fullOptions.faultPlan = &plan;
+    const RunResult oracle = runDecoded(*bin.decoded, fullOptions);
+
+    DecodedRunner runner(*bin.decoded);
+    runner.begin(options);
+    if (seed % 3 != 0) {
+      // Two of three seeds arm the reconvergence cutoff, one runs every
+      // suffix to its natural end — both must land on the oracle result.
+      runner.setCutoffReference(&golden);
+    }
+    ASSERT_TRUE(runner.runToDef(first.ordinal)) << label;
+    EXPECT_EQ(runner.pausedOrdinal(), first.ordinal) << label;
+    ArchCheckpoint checkpoint;
+    runner.saveCheckpoint(checkpoint);
+
+    runner.injectAtPause(plan);
+    expectIdentical(oracle, runner.finish(), label + " first injection");
+
+    runner.restoreCheckpoint(checkpoint);
+    runner.injectAtPause(plan);
+    expectIdentical(oracle, runner.finish(), label + " after restore");
+
+    runner.restoreCheckpoint(checkpoint);
+    expectIdentical(golden, runner.finish(), label + " restored golden");
+  }
 }
 
 TEST(EngineDifferentialTest, PaperWorkloadsWithCallsAndFloat) {

@@ -18,8 +18,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -49,6 +52,23 @@ core::CompiledProgram compileFor(const ir::Program& program,
   return core::compile(program, testutil::machine(2, 1), scheme);
 }
 
+// CI runs this whole file twice: once in the default checkpoint-and-diverge
+// mode and once with CASTED_INJECTION_MODE=full, cross-checking that every
+// ground-truth contract holds identically on the oracle path.
+fault::InjectionMode envInjectionMode() {
+  const char* mode = std::getenv("CASTED_INJECTION_MODE");
+  if (mode != nullptr && std::strcmp(mode, "full") == 0) {
+    return fault::InjectionMode::kFull;
+  }
+  return fault::InjectionMode::kCheckpointed;
+}
+
+fault::ExhaustiveOptions exhaustiveOptions() {
+  fault::ExhaustiveOptions options;
+  options.mode = envInjectionMode();
+  return options;
+}
+
 TEST(ExhaustiveGroundTruthTest, EnginesEmitIdenticalDefTraces) {
   for (const Workload& workload : workloads()) {
     for (const passes::Scheme scheme :
@@ -75,7 +95,8 @@ TEST(ExhaustiveGroundTruthTest, EnginesEmitIdenticalDefTraces) {
 TEST(ExhaustiveGroundTruthTest, ReportAccountingIsConsistent) {
   const core::CompiledProgram bin =
       compileFor(testutil::makeTinyProgram(), passes::Scheme::kCasted);
-  const fault::GroundTruthReport truth = core::groundTruth(bin);
+  const fault::GroundTruthReport truth =
+      core::groundTruth(bin, exhaustiveOptions());
 
   ASSERT_GT(truth.defInsns, 0u);
   ASSERT_GT(truth.sites, 0u);
@@ -114,28 +135,48 @@ TEST(ExhaustiveGroundTruthTest, ReportAccountingIsConsistent) {
   EXPECT_FALSE(truth.toString().empty());
 }
 
-TEST(ExhaustiveGroundTruthTest, ThreadCountAndEngineAreInvariant) {
+TEST(ExhaustiveGroundTruthTest, ThreadCountEngineAndModeAreInvariant) {
+  // The baseline is the serial full-rerun enumeration — the oracle path.
+  // Every other way of computing the report (checkpoint-and-diverge, more
+  // workers, the reference engine) must reproduce it bit for bit; only the
+  // mcProbability doubles get an epsilon, since worker partitioning changes
+  // their summation order.
   const core::CompiledProgram bin =
       compileFor(testutil::makeLoopProgram(4), passes::Scheme::kCasted);
-  const fault::GroundTruthReport serial = core::groundTruth(bin);
-  fault::ExhaustiveOptions threaded;
-  threaded.threads = 4;
-  const fault::GroundTruthReport parallel = core::groundTruth(bin, threaded);
-  fault::ExhaustiveOptions reference;
-  reference.simOptions.engine = sim::Engine::kReference;
-  const fault::GroundTruthReport slow = core::groundTruth(bin, reference);
+  fault::ExhaustiveOptions fullSerial;
+  fullSerial.mode = fault::InjectionMode::kFull;
+  const fault::GroundTruthReport baseline = core::groundTruth(bin, fullSerial);
 
-  for (const fault::GroundTruthReport* other : {&parallel, &slow}) {
-    EXPECT_EQ(serial.defInsns, other->defInsns);
-    EXPECT_EQ(serial.sites, other->sites);
-    EXPECT_EQ(serial.counts, other->counts);
+  std::vector<std::pair<std::string, fault::ExhaustiveOptions>> variants;
+  {
+    fault::ExhaustiveOptions options;
+    options.mode = fault::InjectionMode::kCheckpointed;
+    variants.emplace_back("checkpointed serial", options);
+    options.threads = 4;
+    variants.emplace_back("checkpointed x4", options);
+    options.mode = fault::InjectionMode::kFull;
+    variants.emplace_back("full x4", options);
+  }
+  {
+    fault::ExhaustiveOptions options;
+    options.simOptions.engine = sim::Engine::kReference;
+    variants.emplace_back("reference engine", options);
+  }
+
+  for (const auto& [label, options] : variants) {
+    const fault::GroundTruthReport other = core::groundTruth(bin, options);
+    EXPECT_EQ(baseline.defInsns, other.defInsns) << label;
+    EXPECT_EQ(baseline.sites, other.sites) << label;
+    EXPECT_EQ(baseline.counts, other.counts) << label;
     for (std::size_t i = 0; i < fault::kOutcomeCount; ++i) {
-      EXPECT_NEAR(serial.mcProbability[i], other->mcProbability[i], 1e-12);
+      EXPECT_NEAR(baseline.mcProbability[i], other.mcProbability[i], 1e-12)
+          << label;
     }
-    ASSERT_EQ(serial.perInsn.size(), other->perInsn.size());
-    for (std::size_t i = 0; i < serial.perInsn.size(); ++i) {
-      EXPECT_EQ(serial.perInsn[i].counts, other->perInsn[i].counts);
-      EXPECT_EQ(serial.perInsn[i].insn, other->perInsn[i].insn);
+    ASSERT_EQ(baseline.perInsn.size(), other.perInsn.size()) << label;
+    for (std::size_t i = 0; i < baseline.perInsn.size(); ++i) {
+      EXPECT_EQ(baseline.perInsn[i].counts, other.perInsn[i].counts)
+          << label << " " << baseline.perInsn[i].text;
+      EXPECT_EQ(baseline.perInsn[i].insn, other.perInsn[i].insn) << label;
     }
   }
 }
@@ -148,7 +189,8 @@ TEST(ExhaustiveGroundTruthTest, LintClearedSitesNeverClassifySdc) {
     for (const passes::Scheme scheme :
          {passes::Scheme::kSced, passes::Scheme::kCasted}) {
       const core::CompiledProgram bin = compileFor(workload.program, scheme);
-      const fault::GroundTruthReport truth = core::groundTruth(bin);
+      const fault::GroundTruthReport truth =
+          core::groundTruth(bin, exhaustiveOptions());
       const passes::ProtectionLintResult lint =
           passes::lintProtection(bin.program, scheme);
 
@@ -202,12 +244,14 @@ TEST(ExhaustiveGroundTruthTest, MonteCarloConvergesToGroundTruth) {
     for (const passes::Scheme scheme :
          {passes::Scheme::kNoed, passes::Scheme::kCasted}) {
       const core::CompiledProgram bin = compileFor(workload.program, scheme);
-      const fault::GroundTruthReport truth = core::groundTruth(bin);
+      const fault::GroundTruthReport truth =
+          core::groundTruth(bin, exhaustiveOptions());
 
       fault::CampaignOptions mc;
       mc.trials = trials;
       mc.seed = ++seed;
       mc.threads = 2;          // deterministic by construction
+      mc.mode = envInjectionMode();
       mc.originalDefInsns = 0; // exactly one flip per trial
       const fault::CoverageReport report = core::campaign(bin, mc);
       ASSERT_EQ(report.trials, trials);
@@ -233,10 +277,10 @@ TEST(ExhaustiveGroundTruthTest, MonteCarloConvergesToGroundTruth) {
 // the paper's qualitative result (protection removes most SDC mass).
 TEST(ExhaustiveGroundTruthTest, ProtectionShrinksExactSdcMass) {
   const ir::Program program = testutil::makeLoopProgram(5);
-  const fault::GroundTruthReport noed =
-      core::groundTruth(compileFor(program, passes::Scheme::kNoed));
-  const fault::GroundTruthReport casted =
-      core::groundTruth(compileFor(program, passes::Scheme::kCasted));
+  const fault::GroundTruthReport noed = core::groundTruth(
+      compileFor(program, passes::Scheme::kNoed), exhaustiveOptions());
+  const fault::GroundTruthReport casted = core::groundTruth(
+      compileFor(program, passes::Scheme::kCasted), exhaustiveOptions());
   EXPECT_GT(noed.mcProbabilityOf(fault::Outcome::kDataCorrupt),
             casted.mcProbabilityOf(fault::Outcome::kDataCorrupt));
   EXPECT_GT(casted.mcSafeProbability(), noed.mcSafeProbability());
