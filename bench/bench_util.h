@@ -8,24 +8,21 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/pipeline.h"
 #include "support/check.h"
+#include "support/env.h"
 #include "support/statistics.h"
 #include "support/table.h"
 #include "workloads/workloads.h"
 
 namespace casted::benchutil {
 
-inline std::uint32_t envU32(const char* name, std::uint32_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') {
-    return fallback;
-  }
-  return static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
-}
+// Validated environment parsing lives in support/env.h; the old local
+// strtoul-based parser silently accepted junk ("1e6" -> 1) and wrapped
+// out-of-range values.
+using casted::envU32;
 
 // Cycles for one (workload, machine, scheme) point.
 inline std::uint64_t runCycles(const ir::Program& program,

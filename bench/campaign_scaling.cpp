@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "fault/campaign.h"
+#include "support/trace.h"
 
 using namespace casted;
 
@@ -167,5 +168,18 @@ int main() {
       "trials are embarrassingly parallel); the counts column must say yes\n"
       "everywhere — the campaign's report is defined by (seed, trials)\n"
       "alone, never by the engine or the thread count.\n");
+
+  // Export the trace session (active only under CASTED_TRACE or an explicit
+  // trace::enable); run metadata identifies this sweep in the viewer.
+  trace::setMetadata("bench", "campaign_scaling");
+  trace::setMetadata("workload", wl.name);
+  trace::setMetadata("trials", std::to_string(trials));
+  trace::setMetadata("max_threads", std::to_string(maxThreads));
+  trace::setMetadata("engine", "reference+decoded");
+  trace::setMetadata("injection_mode",
+                     fault::injectionModeName(fault::CampaignOptions{}.mode));
+  if (trace::writeReport()) {
+    std::printf("wrote trace %s\n", trace::outputPath().c_str());
+  }
   return 0;
 }

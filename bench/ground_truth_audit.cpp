@@ -27,6 +27,7 @@
 
 #include "fault/exhaustive.h"
 #include "passes/protection_lint.h"
+#include "support/trace.h"
 
 using namespace casted;
 
@@ -215,5 +216,18 @@ int main(int argc, char** argv) {
       "site.\n",
       trials);
   writeJson(jsonPath, wl.name, scale, threads, rows);
+
+  // Export the trace session (active only under CASTED_TRACE or an explicit
+  // trace::enable); run metadata identifies this audit in the viewer.
+  trace::setMetadata("bench", "ground_truth_audit");
+  trace::setMetadata("workload", wl.name);
+  trace::setMetadata("scale", std::to_string(scale));
+  trace::setMetadata("threads", std::to_string(threads));
+  trace::setMetadata("engine",
+                     sim::engineName(sim::SimOptions{}.engine));
+  trace::setMetadata("injection_mode", "full+checkpointed");
+  if (trace::writeReport()) {
+    std::printf("wrote trace %s\n", trace::outputPath().c_str());
+  }
   return 0;
 }

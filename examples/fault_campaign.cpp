@@ -19,6 +19,7 @@
 #include "core/pipeline.h"
 #include "support/statistics.h"
 #include "support/table.h"
+#include "support/trace.h"
 #include "workloads/workloads.h"
 
 using namespace casted;
@@ -83,5 +84,18 @@ int main(int argc, char** argv) {
       "  data-corrupt  WRONG OUTPUT with no warning — the failure mode the\n"
       "                whole technique exists to eliminate\n"
       "  timeout       runaway execution, caught by the watchdog\n");
+
+  // Export the trace session (active only under CASTED_TRACE or an explicit
+  // trace::enable); run metadata identifies this campaign in the viewer.
+  trace::setMetadata("example", "fault_campaign");
+  trace::setMetadata("workload", wl.name);
+  trace::setMetadata("trials", std::to_string(trials));
+  trace::setMetadata("threads", "hardware");
+  trace::setMetadata("engine", sim::engineName(engine));
+  trace::setMetadata("injection_mode",
+                     fault::injectionModeName(fault::CampaignOptions{}.mode));
+  if (trace::writeReport()) {
+    std::printf("wrote trace %s\n", trace::outputPath().c_str());
+  }
   return 0;
 }

@@ -2,12 +2,14 @@
 
 #include "ir/verifier.h"
 #include "sched/list_scheduler.h"
+#include "support/trace.h"
 
 namespace casted::core {
 
 pm::PassManager buildPipeline(passes::Scheme scheme,
                               const PipelineOptions& options) {
-  pm::PassManager manager({.verifyAfterEachPass = options.verifyAfterPasses});
+  pm::PassManager manager({.verifyAfterEachPass = options.verifyAfterPasses,
+                           .trace = options.trace});
   if (options.runEarlyOptimisations) {
     manager.emplacePass<passes::EarlyOptsPass>();
   }
@@ -33,6 +35,8 @@ CompiledProgram compile(const ir::Program& source,
                         passes::Scheme scheme,
                         const PipelineOptions& options) {
   machine.validate();
+  const trace::Scope compileScope("core.compile", options.trace);
+  trace::counterAdd("core.compiles");
   CompiledProgram compiled;
   compiled.program = source;
   compiled.scheme = scheme;
@@ -45,14 +49,20 @@ CompiledProgram compile(const ir::Program& source,
   const pm::PassManager manager = buildPipeline(scheme, options);
   pm::AnalysisManager am(machine);
   compiled.report = manager.run(compiled.program, am);
-  // The scheduler walks the same block DFGs the assignment pass used (it
-  // preserves them: only `cluster` fields changed).
-  compiled.schedule = sched::scheduleProgram(compiled.program, machine, &am);
+  {
+    // The scheduler walks the same block DFGs the assignment pass used (it
+    // preserves them: only `cluster` fields changed).
+    const trace::Scope scope("core.schedule", options.trace);
+    compiled.schedule = sched::scheduleProgram(compiled.program, machine, &am);
+  }
   compiled.report.analysisHits = am.hits();
   compiled.report.analysisMisses = am.misses();
-  compiled.decoded = std::make_shared<const sim::DecodedProgram>(
-      sim::DecodedProgram::build(compiled.program, compiled.schedule,
-                                 compiled.machine));
+  {
+    const trace::Scope scope("core.decode", options.trace);
+    compiled.decoded = std::make_shared<const sim::DecodedProgram>(
+        sim::DecodedProgram::build(compiled.program, compiled.schedule,
+                                   compiled.machine));
+  }
   return compiled;
 }
 

@@ -8,6 +8,7 @@
 
 #include "fault/driver_util.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace casted::fault {
 
@@ -151,14 +152,19 @@ CoverageReport runCampaign(const ir::Program& program,
                            const arch::MachineConfig& config,
                            const CampaignOptions& options,
                            const sim::DecodedProgram* decoded) {
+  const trace::Scope campaignScope("fault.campaign", options.trace);
   // Decode once per campaign; every trial on every worker shares the result
   // read-only.  A caller-supplied decode (e.g. core::CompiledProgram's) is
   // reused as-is; the reference engine never touches a decode.
   const detail::EngineChoice choice = detail::chooseEngine(
       program, schedule, config, options.simOptions, decoded);
 
-  const GoldenProfile golden = detail::toProfile(detail::runGolden(
-      program, schedule, config, options.simOptions, choice));
+  GoldenProfile golden;
+  {
+    const trace::Scope scope("fault.campaign.golden", options.trace);
+    golden = detail::toProfile(detail::runGolden(
+        program, schedule, config, options.simOptions, choice));
+  }
 
   sim::SimOptions armedOptions = options.simOptions;
   armedOptions.maxCycles = golden.cycles * options.timeoutFactor;
@@ -199,10 +205,13 @@ CoverageReport runCampaign(const ir::Program& program,
 
   std::atomic<std::uint32_t> nextSlot{0};
   std::vector<CoverageReport> partial(threads);
+  detail::ProgressMeter meter("campaign trials", options.trials,
+                              options.progress);
   detail::runWorkerPool(threads, [&](std::uint32_t w) {
     // One reusable execution context per worker; the DecodedProgram itself
     // is shared read-only.  An atomic cursor over the sorted order hands
     // each worker an ascending-ordinal subsequence.
+    const trace::Scope workerScope("fault.campaign.worker", options.trace);
     std::optional<detail::CheckpointSweep> sweep;
     std::optional<TrialContext> context;
     if (checkpointed) {
@@ -210,6 +219,7 @@ CoverageReport runCampaign(const ir::Program& program,
     } else {
       context.emplace(armedOptions, choice.decoded);
     }
+    std::uint64_t workerTrials = 0;
     while (true) {
       const std::uint32_t slot =
           nextSlot.fetch_add(1, std::memory_order_relaxed);
@@ -226,8 +236,18 @@ CoverageReport runCampaign(const ir::Program& program,
       }
       ++partial[w].counts[static_cast<int>(result.outcome)];
       partial[w].dynamicInsns += result.dynamicInsns;
+      ++workerTrials;
+      meter.add();
     }
-  });
+    // Per-worker trial totals alongside the worker's duration scope: the
+    // pair gives a per-worker trial rate in the trace viewer.
+    if (options.trace && trace::enabled()) {
+      trace::counterAdd("fault.campaign.trials", workerTrials);
+      trace::counterAdd("fault.campaign.worker" + std::to_string(w) +
+                            ".trials",
+                        workerTrials);
+    }
+  }, &meter);
 
   // Outcome counts and instruction totals commute, so the merged report
   // does not depend on which worker ran which trial.

@@ -97,6 +97,17 @@ struct CampaignOptions {
   // outcome counts and instruction totals commute, so the report stays
   // bit-identical to kFull at every thread count.
   InjectionMode mode = InjectionMode::kCheckpointed;
+  // Observability (support/trace.h): when the global trace session is
+  // active, the campaign emits scoped duration events (fault.campaign,
+  // fault.campaign.golden, one fault.campaign.worker per pool worker) and
+  // per-worker trial counters.  Observation only — the CoverageReport is
+  // bit-identical with tracing on or off (the oracle test asserts it); set
+  // false to opt a hot inner-loop campaign out of an active session.
+  bool trace = true;
+  // Periodic progress heartbeat with rate and ETA on stderr while the trial
+  // pool runs (see detail::ProgressMeter).  The CASTED_PROGRESS env var
+  // overrides this both ways (0 = off, N = on every N seconds).
+  bool progress = false;
   sim::SimOptions simOptions;
 };
 

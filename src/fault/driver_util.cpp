@@ -1,11 +1,14 @@
 #include "fault/driver_util.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "support/check.h"
+#include "support/env.h"
 
 namespace casted::fault::detail {
 
@@ -63,8 +66,103 @@ std::uint32_t resolveThreads(std::uint32_t requested,
       threads, std::max<std::uint64_t>(workItems, 1)));
 }
 
+namespace {
+
+constexpr std::uint32_t kDefaultHeartbeatSeconds = 5;
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
+                             bool enabledOption)
+    : label_(std::move(label)), total_(total) {
+  // CASTED_PROGRESS overrides the driver option both ways: 0 forces the
+  // heartbeat off, N > 0 forces it on every N seconds.  Parsed with the
+  // validated helper, so CASTED_PROGRESS=junk dies loudly instead of
+  // silently disabling the heartbeat.
+  const std::uint32_t interval =
+      envU32("CASTED_PROGRESS",
+             enabledOption ? kDefaultHeartbeatSeconds : 0);
+  intervalSeconds_ = interval;
+  active_ = interval > 0;
+}
+
+// RAII heartbeat monitor around one worker-pool run: a thread that wakes
+// every interval and prints the meter's state to stderr, stopped (and
+// joined) by the destructor on every exit path, including a rethrown worker
+// exception.
+class PoolMonitor {
+ public:
+  explicit PoolMonitor(ProgressMeter* meter) : meter_(meter) {
+    if (meter_ == nullptr || !meter_->active()) {
+      return;
+    }
+    start_ = std::chrono::steady_clock::now();
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~PoolMonitor() {
+    if (!thread_.joinable()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::seconds(meter_->intervalSeconds_),
+                         [this] { return stop_; })) {
+      printHeartbeat();
+    }
+  }
+
+  void printHeartbeat() const {
+    const std::uint64_t done =
+        meter_->done_.load(std::memory_order_relaxed);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed
+                                      : 0.0;
+    const std::uint64_t total = meter_->total_;
+    const double pct =
+        total == 0 ? 100.0
+                   : 100.0 * static_cast<double>(done) /
+                         static_cast<double>(total);
+    if (rate > 0.0 && done < total) {
+      const double eta = static_cast<double>(total - done) / rate;
+      std::fprintf(stderr,
+                   "[casted] %s: %llu/%llu (%.1f%%) | %.1f/s | ETA %.1fs\n",
+                   meter_->label_.c_str(),
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total), pct, rate, eta);
+    } else {
+      std::fprintf(stderr, "[casted] %s: %llu/%llu (%.1f%%) | %.1f/s\n",
+                   meter_->label_.c_str(),
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total), pct, rate);
+    }
+    std::fflush(stderr);
+  }
+
+  ProgressMeter* meter_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
 void runWorkerPool(std::uint32_t threads,
-                   const std::function<void(std::uint32_t)>& body) {
+                   const std::function<void(std::uint32_t)>& body,
+                   ProgressMeter* progress) {
+  const PoolMonitor monitor(progress);
   if (threads <= 1) {
     body(0);
     return;

@@ -11,6 +11,7 @@
 #include "support/check.h"
 #include "support/statistics.h"
 #include "support/table.h"
+#include "support/trace.h"
 
 namespace casted::fault {
 namespace {
@@ -92,24 +93,29 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
                                       const arch::MachineConfig& config,
                                       const ExhaustiveOptions& options,
                                       const sim::DecodedProgram* decoded) {
+  const trace::Scope enumScope("fault.exhaustive", options.trace);
   // Engine selection mirrors runCampaign: decode once, share read-only.
   const detail::EngineChoice choice = detail::chooseEngine(
       program, schedule, config, options.simOptions, decoded);
 
   // Golden run with the def-site trace attached: one DefSite per ordinal.
-  std::vector<sim::DefSite> trace;
-  const GoldenProfile golden = detail::toProfile(detail::runGolden(
-      program, schedule, config, options.simOptions, choice, &trace));
-  CASTED_CHECK(trace.size() == golden.defInsns)
-      << "def trace length " << trace.size() << " != def count "
+  std::vector<sim::DefSite> defTrace;
+  GoldenProfile golden;
+  {
+    const trace::Scope scope("fault.exhaustive.golden", options.trace);
+    golden = detail::toProfile(detail::runGolden(
+        program, schedule, config, options.simOptions, choice, &defTrace));
+  }
+  CASTED_CHECK(defTrace.size() == golden.defInsns)
+      << "def trace length " << defTrace.size() << " != def count "
       << golden.defInsns;
 
   // Resolve the trace into the static site table and the per-ordinal index.
   std::map<std::array<std::uint32_t, 3>, std::uint32_t> staticIndex;
   std::vector<StaticSite> statics;
-  std::vector<std::uint32_t> ordinalStatic(trace.size());
-  for (std::size_t ordinal = 0; ordinal < trace.size(); ++ordinal) {
-    const sim::DefSite& site = trace[ordinal];
+  std::vector<std::uint32_t> ordinalStatic(defTrace.size());
+  for (std::size_t ordinal = 0; ordinal < defTrace.size(); ++ordinal) {
+    const sim::DefSite& site = defTrace[ordinal];
     const std::array<std::uint32_t, 3> key = {site.func, site.block,
                                               site.node};
     auto [it, inserted] =
@@ -146,7 +152,7 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
       << options.maxSites;
 
   const std::uint32_t threads =
-      detail::resolveThreads(options.threads, trace.size());
+      detail::resolveThreads(options.threads, defTrace.size());
 
   sim::SimOptions armedOptions = options.simOptions;
   armedOptions.maxCycles = golden.cycles * options.timeoutFactor;
@@ -201,7 +207,14 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
   std::vector<std::vector<Tally>> partial(
       threads, std::vector<Tally>(statics.size()));
   std::atomic<std::uint64_t> nextOrdinal{0};
+  detail::ProgressMeter meter("exhaustive ordinals", defTrace.size(),
+                              options.progress);
+  if (options.trace && trace::enabled()) {
+    trace::counterAdd("fault.exhaustive.sites",
+                      static_cast<std::int64_t>(totalSites));
+  }
   detail::runWorkerPool(threads, [&](std::uint32_t w) {
+    const trace::Scope workerScope("fault.exhaustive.worker", options.trace);
     std::optional<detail::CheckpointSweep> sweep;
     std::optional<sim::DecodedRunner> runner;
     if (checkpointed) {
@@ -210,17 +223,28 @@ GroundTruthReport enumerateFaultSpace(const ir::Program& program,
       runner.emplace(*choice.decoded);
     }
     sim::SimOptions simOptions = armedOptions;
+    std::uint64_t workerOrdinals = 0;
     while (true) {
       const std::uint64_t ordinal =
           nextOrdinal.fetch_add(1, std::memory_order_relaxed);
-      if (ordinal >= trace.size()) {
+      if (ordinal >= defTrace.size()) {
         break;
       }
       classifyOrdinal(ordinal, simOptions,
                       runner.has_value() ? &*runner : nullptr,
                       sweep.has_value() ? &*sweep : nullptr, partial[w]);
+      ++workerOrdinals;
+      meter.add();
     }
-  });
+    // Per-worker ordinal totals alongside the worker's duration scope: the
+    // pair gives a per-worker enumeration rate in the trace viewer.
+    if (options.trace && trace::enabled()) {
+      trace::counterAdd("fault.exhaustive.ordinals", workerOrdinals);
+      trace::counterAdd("fault.exhaustive.worker" + std::to_string(w) +
+                            ".ordinals",
+                        workerOrdinals);
+    }
+  }, &meter);
 
   GroundTruthReport report;
   report.defInsns = golden.defInsns;

@@ -54,6 +54,16 @@ struct ExhaustiveOptions {
   // customer: one golden-prefix snapshot at dynamic def d serves all
   // (register x bit) sites at d.
   InjectionMode mode = InjectionMode::kCheckpointed;
+  // Observability (support/trace.h): when the global trace session is
+  // active, enumeration emits scoped duration events (fault.exhaustive,
+  // fault.exhaustive.golden, per-worker scopes) and ordinal/site counters.
+  // Observation only — the GroundTruthReport is bit-identical either way.
+  bool trace = true;
+  // Periodic progress heartbeat with rate and ETA on stderr while the
+  // ordinal pool runs — a multi-million-site enumeration is no longer
+  // silent until it finishes.  CASTED_PROGRESS overrides both ways
+  // (0 = off, N = on every N seconds).
+  bool progress = false;
   sim::SimOptions simOptions;
 };
 

@@ -1,8 +1,10 @@
 #include "pm/pass_manager.h"
 
 #include <chrono>
+#include <string>
 
 #include "ir/verifier.h"
+#include "support/trace.h"
 
 namespace casted::pm {
 
@@ -14,7 +16,15 @@ PipelineReport PassManager::run(ir::Program& program,
   for (const std::unique_ptr<Pass>& pass : passes_) {
     const std::size_t before = program.insnCount();
     const auto start = std::chrono::steady_clock::now();
-    PassResult result = pass->run(program, am);
+    PassResult result;
+    {
+      // Build the event name only when it will be recorded: the disabled
+      // path must not allocate.
+      const bool traced = options_.trace && trace::enabled();
+      const trace::Scope scope(
+          traced ? "pm." + std::string(pass->name()) : std::string(), traced);
+      result = pass->run(program, am);
+    }
     const auto end = std::chrono::steady_clock::now();
 
     if (result.preserved == Preserved::kNone) {
@@ -28,6 +38,12 @@ PipelineReport PassManager::run(ir::Program& program,
     entry.insnsAfter = program.insnCount();
     entry.insnDelta = static_cast<std::int64_t>(entry.insnsAfter) -
                       static_cast<std::int64_t>(before);
+    // The gate comes first so the disabled path never pays the name
+    // concatenation.
+    if (options_.trace && trace::enabled()) {
+      trace::counterAdd("pm." + entry.pass + ".insn_delta", entry.insnDelta);
+      trace::counterAdd("pm." + entry.pass + ".runs");
+    }
     entry.preservedAnalyses = result.preserved == Preserved::kAll;
     entry.stats = std::move(result.stats);
     if (options_.verifyAfterEachPass) {

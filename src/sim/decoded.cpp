@@ -8,6 +8,7 @@
 
 #include "sim/simulator.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace casted::sim {
 
@@ -1287,6 +1288,7 @@ struct Interp {
         // Provably bit-identical to the fault-free trajectory with no flips
         // pending: the rest of the run IS the golden suffix, so its final
         // result (stats, output, exit state) is this run's result verbatim.
+        trace::counterAdd("sim.cutoff.hits");
         result = *goldenFinal;
         finished = true;
         return false;
@@ -1448,7 +1450,9 @@ DecodedRunner::~DecodedRunner() = default;
 
 RunResult DecodedRunner::run(const SimOptions& options) {
   impl_->interp.reset(options);
-  return impl_->interp.run();
+  RunResult result = impl_->interp.run();
+  traceRunStats("decoded", result.stats);
+  return result;
 }
 
 void DecodedRunner::begin(const SimOptions& options) {
@@ -1468,11 +1472,13 @@ void DecodedRunner::saveCheckpoint(ArchCheckpoint& out) {
   if (out.data_ == nullptr) {
     out.data_ = std::make_unique<ArchCheckpoint::Data>();
   }
+  trace::counterAdd("sim.checkpoint.saves");
   impl_->interp.saveCheckpoint(*out.data_);
 }
 
 void DecodedRunner::restoreCheckpoint(const ArchCheckpoint& checkpoint) {
   CASTED_CHECK(checkpoint.data_ != nullptr) << "checkpoint was never saved";
+  trace::counterAdd("sim.checkpoint.restores");
   impl_->interp.restoreCheckpoint(*checkpoint.data_);
 }
 
@@ -1491,7 +1497,9 @@ RunResult DecodedRunner::finish() {
 RunResult runDecoded(const DecodedProgram& program, const SimOptions& options) {
   Interp engine(program);
   engine.reset(options);
-  return engine.run();
+  RunResult result = engine.run();
+  traceRunStats("decoded", result.stats);
+  return result;
 }
 
 }  // namespace casted::sim

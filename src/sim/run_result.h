@@ -40,6 +40,12 @@ struct RunResult {
   std::vector<std::uint8_t> output;
 };
 
+// Surfaces one completed run's RunStats into the trace session's counters
+// (sim.<engine>.runs / .insns / .cycles / .l<k>.hits|misses / ...).  Shared
+// by both engines; a no-op beyond one atomic load while tracing is
+// inactive.  Defined in simulator.cpp.
+void traceRunStats(const char* engine, const RunStats& stats);
+
 // Static identity of one dynamically executed def-producing instruction:
 // the function, the block, and the instruction's position within the block.
 // When SimOptions::defTrace is set, both engines append one DefSite per def

@@ -6,8 +6,31 @@
 
 #include "sim/decoded.h"
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace casted::sim {
+
+void traceRunStats(const char* engine, const RunStats& stats) {
+  if (!trace::enabled()) {
+    return;
+  }
+  const std::string prefix = std::string("sim.") + engine;
+  trace::counterAdd(prefix + ".runs");
+  trace::counterAdd(prefix + ".insns",
+                    static_cast<std::int64_t>(stats.dynamicInsns));
+  trace::counterAdd(prefix + ".cycles",
+                    static_cast<std::int64_t>(stats.cycles));
+  trace::counterAdd(prefix + ".mem_accesses",
+                    static_cast<std::int64_t>(stats.memoryAccesses));
+  for (int level = 0; level < 3; ++level) {
+    const std::string levelPrefix = prefix + ".l" + std::to_string(level + 1);
+    trace::counterAdd(levelPrefix + ".hits",
+                      static_cast<std::int64_t>(stats.cacheLevel[level].hits));
+    trace::counterAdd(
+        levelPrefix + ".misses",
+        static_cast<std::int64_t>(stats.cacheLevel[level].misses));
+  }
+}
 
 const char* engineName(Engine engine) {
   switch (engine) {
@@ -773,7 +796,9 @@ RunResult Simulator::run() {
     return runDecoded(decoded, options_);
   }
   Impl impl(program_, schedule_, config_, options_);
-  return impl.run();
+  RunResult result = impl.run();
+  traceRunStats("reference", result.stats);
+  return result;
 }
 
 RunResult simulate(const ir::Program& program,

@@ -1,0 +1,29 @@
+#include "support/env.h"
+
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
+#include "support/check.h"
+
+namespace casted {
+
+std::uint32_t envU32(const char* name, std::uint32_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const std::string_view text(value);
+  std::uint64_t parsed = 0;
+  for (const char c : text) {
+    CASTED_CHECK(c >= '0' && c <= '9')
+        << name << ": malformed unsigned integer '" << text
+        << "' (every character must be a decimal digit)";
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    CASTED_CHECK(parsed <= std::numeric_limits<std::uint32_t>::max())
+        << name << ": value '" << text << "' exceeds the uint32 range";
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+}  // namespace casted

@@ -1,0 +1,23 @@
+// Validated environment-variable parsing, shared by the bench harnesses
+// (CASTED_TRIALS, CASTED_SCALE, ...) and the library's own observability
+// knobs (CASTED_PROGRESS).
+//
+// History: the old bench-local helper called strtoul with a null endptr and
+// cast the result, so CASTED_TRIALS=1e6 silently parsed as 1, junk as 0,
+// and anything above UINT32_MAX wrapped.  This helper validates the full
+// string, range-checks against uint32, and throws FatalError (CASTED_CHECK)
+// naming the variable on malformed input — a misconfigured sweep should die
+// loudly, not run quietly with the wrong size.
+#pragma once
+
+#include <cstdint>
+
+namespace casted {
+
+// Value of env var `name` parsed as a base-10 unsigned 32-bit integer, or
+// `fallback` when the variable is unset or empty.  Every character must be
+// a digit and the value must fit in uint32 — "1e6", "junk", "-1", " 5" and
+// 4294967296 all throw FatalError with a message naming the variable.
+std::uint32_t envU32(const char* name, std::uint32_t fallback);
+
+}  // namespace casted

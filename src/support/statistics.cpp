@@ -29,23 +29,34 @@ SampleSummary summarize(std::span<const double> values) {
     }
   }
   s.mean = sum / static_cast<double>(values.size());
+  s.geomeanValid = allPositive;
   s.geomean =
       allPositive ? std::exp(logSum / static_cast<double>(values.size())) : 0.0;
-  double sq = 0.0;
-  for (double v : values) {
-    sq += (v - s.mean) * (v - s.mean);
+  // Sample (n-1) standard deviation: the inputs are bench repetitions, i.e.
+  // a sample, not the population.  A single observation has no spread
+  // estimate, so stddev is defined as 0 for n <= 1.
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) {
+      sq += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
   }
-  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
   return s;
 }
 
 double mean(std::span<const double> values) { return summarize(values).mean; }
 
 double geomean(std::span<const double> values) {
-  for (double v : values) {
-    CASTED_CHECK(v > 0.0) << "geomean requires positive values, got " << v;
+  const SampleSummary s = summarize(values);
+  // Same validity rule as SampleSummary::geomeanValid, enforced loudly: the
+  // throwing path and the flag path can never disagree.
+  if (!values.empty() && !s.geomeanValid) {
+    for (double v : values) {
+      CASTED_CHECK(v > 0.0) << "geomean requires positive values, got " << v;
+    }
   }
-  return summarize(values).geomean;
+  return s.geomean;
 }
 
 ProportionInterval wilsonInterval(std::uint64_t successes,

@@ -16,8 +16,15 @@ struct SampleSummary {
   double min = 0.0;
   double max = 0.0;
   double mean = 0.0;
-  double geomean = 0.0;  // only meaningful for strictly positive samples
-  double stddev = 0.0;   // population standard deviation
+  // Geometric mean.  Defined only for strictly positive, non-empty samples;
+  // `geomeanValid` says whether `geomean` is meaningful (instead of the old
+  // silent 0.0 that was indistinguishable from a genuine tiny geomean).
+  double geomean = 0.0;
+  bool geomeanValid = false;
+  // Sample (n-1, Bessel-corrected) standard deviation: every caller feeds
+  // summarize() a sample of bench repetitions, not a full population.
+  // Defined as 0 for n <= 1.
+  double stddev = 0.0;
 };
 
 // Computes summary statistics in one pass over `values`.
@@ -26,7 +33,9 @@ SampleSummary summarize(std::span<const double> values);
 // Arithmetic mean; 0 for an empty span.
 double mean(std::span<const double> values);
 
-// Geometric mean; requires strictly positive values; 0 for an empty span.
+// Geometric mean; requires strictly positive values (throws FatalError
+// otherwise — the loud twin of SampleSummary::geomeanValid); 0 for an empty
+// span.
 double geomean(std::span<const double> values);
 
 // A two-sided confidence interval for a binomial proportion.

@@ -9,6 +9,8 @@
 //     AND across the two injection modes (full rerun vs
 //     checkpoint-and-diverge) — the campaign result is a pure function of
 //     (binary, seed, trials);
+//   * tracing (support/trace.h) only observes: an active trace session
+//     leaves the report bit-identical to a run with tracing off;
 //   * the per-trial RNG derivation decorrelates adjacent trials and nearby
 //     master seeds (regression for the old `seed ^ trialIndex` scheme).
 #include <gtest/gtest.h>
@@ -22,6 +24,7 @@
 #include "core/pipeline.h"
 #include "fault/campaign.h"
 #include "support/rng.h"
+#include "support/trace.h"
 #include "test_util.h"
 #include "workloads/workloads.h"
 
@@ -115,6 +118,43 @@ TEST(CampaignOracleTest, ReportBitIdenticalAcrossThreadsEnginesAndModes) {
       }
     }
   }
+}
+
+TEST(CampaignOracleTest, ReportBitIdenticalWithTracingOnAndOff) {
+  // The trace subsystem's determinism contract (DESIGN.md §11): an active
+  // session observes the campaign but never feeds back into it, so the
+  // report — counts, trials AND the dynamicInsns work total — is
+  // bit-identical to the untraced run, across both injection modes and a
+  // multi-worker pool.
+  const workloads::Workload wl = workloads::makeParser(1);
+  const core::CompiledProgram bin =
+      core::compile(wl.program, testutil::machine(2, 2), Scheme::kCasted);
+  const std::uint32_t trials =
+      static_cast<std::uint32_t>(testutil::testTrials(48));
+
+  trace::resetForTest();
+  trace::disable();
+  const CoverageReport untraced =
+      runWith(bin, 2, sim::Engine::kDecoded, trials);
+  EXPECT_EQ(total(untraced), untraced.trials);
+
+  trace::resetForTest();
+  trace::enable("");  // in-memory session: no file, full instrumentation
+  ASSERT_TRUE(trace::enabled());
+  for (const InjectionMode mode :
+       {InjectionMode::kFull, InjectionMode::kCheckpointed}) {
+    const CoverageReport traced = runWith(bin, 2, sim::Engine::kDecoded,
+                                          trials, 0xCA57EDu, mode);
+    const std::string context = injectionModeName(mode);
+    EXPECT_EQ(traced.counts, untraced.counts) << context;
+    EXPECT_EQ(traced.trials, untraced.trials) << context;
+    EXPECT_EQ(traced.dynamicInsns, untraced.dynamicInsns) << context;
+  }
+  // The session did observe the runs: per-worker trial counters merged to
+  // the exact trial total per campaign.
+  EXPECT_EQ(trace::counterValue("fault.campaign.trials"),
+            static_cast<std::int64_t>(trials) * 2);
+  trace::resetForTest();
 }
 
 TEST(CampaignOracleTest, AdjacentTrialPlansAreNotNearDuplicates) {

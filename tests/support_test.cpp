@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
 #include "support/check.h"
+#include "support/env.h"
 #include "support/rng.h"
 #include "support/statistics.h"
 #include "support/table.h"
@@ -173,6 +176,99 @@ TEST(StatisticsTest, GeomeanOfPowersOfTwo) {
 TEST(StatisticsTest, GeomeanRejectsNonPositive) {
   const std::vector<double> values = {1.0, 0.0};
   EXPECT_THROW(geomean(values), FatalError);
+}
+
+TEST(StatisticsTest, GeomeanValidFlagMatchesThrowingTwin) {
+  // summarize() and geomean() share one validity rule: geomeanValid is the
+  // silent twin of the throwing CHECK.  Positive data: flag set, values
+  // agree.  Non-positive data: flag cleared + geomean 0.0 where geomean()
+  // throws.
+  const std::vector<double> positive = {1.0, 2.0, 4.0, 8.0};
+  const SampleSummary good = summarize(positive);
+  EXPECT_TRUE(good.geomeanValid);
+  EXPECT_NEAR(good.geomean, geomean(positive), 1e-12);
+
+  const std::vector<double> withZero = {1.0, 0.0};
+  const SampleSummary bad = summarize(withZero);
+  EXPECT_FALSE(bad.geomeanValid);
+  EXPECT_DOUBLE_EQ(bad.geomean, 0.0);
+  EXPECT_THROW(geomean(withZero), FatalError);
+
+  const std::vector<double> withNegative = {2.0, -3.0};
+  EXPECT_FALSE(summarize(withNegative).geomeanValid);
+  EXPECT_THROW(geomean(withNegative), FatalError);
+
+  // Empty input is vacuously valid for neither: count 0, no throw, no flag.
+  EXPECT_FALSE(summarize({}).geomeanValid);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatisticsTest, StddevUsesSampleEstimator) {
+  // Regression for the population-stddev bug (divide by n): bench
+  // repetitions are a sample, so the estimator must be Bessel-corrected
+  // (divide by n-1).  Hand-computed: {1,2,3,4} has mean 2.5 and squared
+  // deviations summing to 5, so sample stddev = sqrt(5/3).
+  const std::vector<double> small = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(summarize(small).stddev, std::sqrt(5.0 / 3.0), 1e-12);
+
+  // Textbook example: {2,4,4,4,5,5,7,9}, mean 5, squared deviations sum to
+  // 32.  Population stddev would be sqrt(32/8) = 2 exactly — the buggy
+  // value — while the sample estimator gives sqrt(32/7).
+  const std::vector<double> textbook = {2.0, 4.0, 4.0, 4.0,
+                                        5.0, 5.0, 7.0, 9.0};
+  const double stddev = summarize(textbook).stddev;
+  EXPECT_NEAR(stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_GT(stddev, 2.0);  // strictly above the population value
+}
+
+TEST(StatisticsTest, StddevOfTinySamplesIsZero) {
+  // n <= 1 has no spread estimate; the n-1 denominator must not divide by
+  // zero or return NaN.
+  const std::vector<double> single = {7.5};
+  EXPECT_DOUBLE_EQ(summarize({}).stddev, 0.0);
+  EXPECT_DOUBLE_EQ(summarize(single).stddev, 0.0);
+}
+
+// --- envU32 ------------------------------------------------------------------
+
+class EnvU32Test : public ::testing::Test {
+ protected:
+  static constexpr const char* kName = "CASTED_ENVU32_TEST";
+  void SetUp() override { ::unsetenv(kName); }
+  void TearDown() override { ::unsetenv(kName); }
+  void set(const char* value) { ::setenv(kName, value, 1); }
+};
+
+TEST_F(EnvU32Test, UnsetAndEmptyFallBack) {
+  EXPECT_EQ(envU32(kName, 42), 42u);
+  set("");
+  EXPECT_EQ(envU32(kName, 42), 42u);
+}
+
+TEST_F(EnvU32Test, ParsesPlainDecimal) {
+  set("0");
+  EXPECT_EQ(envU32(kName, 42), 0u);
+  set("123");
+  EXPECT_EQ(envU32(kName, 42), 123u);
+  set("4294967295");  // UINT32_MAX is in range
+  EXPECT_EQ(envU32(kName, 42), 4294967295u);
+}
+
+TEST_F(EnvU32Test, RejectsMalformedInput) {
+  // Regression for the old strtoul parser: "1e6" silently parsed as 1 and
+  // pure junk as 0.  Every non-digit must now die loudly.
+  for (const char* bad : {"1e6", "junk", "-1", "+5", " 5", "5 ", "0x10"}) {
+    set(bad);
+    EXPECT_THROW(envU32(kName, 42), FatalError) << bad;
+  }
+}
+
+TEST_F(EnvU32Test, RejectsOutOfRange) {
+  // The old parser wrapped values above UINT32_MAX modulo 2^32.
+  set("4294967296");  // UINT32_MAX + 1
+  EXPECT_THROW(envU32(kName, 42), FatalError);
+  set("99999999999999999999");  // far beyond uint64 too
+  EXPECT_THROW(envU32(kName, 42), FatalError);
 }
 
 TEST(WilsonIntervalTest, EmptySampleIsVacuous) {

@@ -1,0 +1,395 @@
+// support/trace contract tests:
+//   * counters merge by summation across runWorkerPool workers;
+//   * the exported report is well-formed Chrome-tracing JSON (parsed back
+//     here by a small recursive-descent JSON reader — no external parser);
+//   * the disabled mode is observationally silent: no file, no counter
+//     mutations, no events;
+//   * the CASTED_TRACE environment override activates a session lazily.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/driver_util.h"
+#include "support/check.h"
+#include "support/trace.h"
+
+namespace casted {
+namespace {
+
+// --- A minimal JSON reader, just enough to validate the trace export -------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  JsonValue parse() {
+    const JsonValue value = parseValue();
+    skipSpace();
+    CASTED_CHECK(pos_ == text_.size()) << "trailing JSON at offset " << pos_;
+    return value;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skipSpace();
+    CASTED_CHECK(pos_ < text_.size()) << "unexpected end of JSON";
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    CASTED_CHECK(peek() == c)
+        << "expected '" << c << "' at offset " << pos_ << ", got '"
+        << text_[pos_] << "'";
+    ++pos_;
+  }
+
+  JsonValue parseValue() {
+    const char c = peek();
+    if (c == '{') {
+      return parseObject();
+    }
+    if (c == '[') {
+      return parseArray();
+    }
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.text = parseString();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      return parseKeyword();
+    }
+    if (c == 'n') {
+      matchWord("null");
+      return JsonValue{};
+    }
+    return parseNumber();
+  }
+
+  void matchWord(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      CASTED_CHECK(pos_ < text_.size() && text_[pos_] == *p)
+          << "bad keyword at offset " << pos_;
+      ++pos_;
+    }
+  }
+
+  JsonValue parseKeyword() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_[pos_] == 't') {
+      matchWord("true");
+      v.boolean = true;
+    } else {
+      matchWord("false");
+    }
+    return v;
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    CASTED_CHECK(pos_ > start) << "expected number at offset " << start;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      CASTED_CHECK(pos_ < text_.size()) << "unterminated string";
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        CASTED_CHECK(pos_ < text_.size()) << "unterminated escape";
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            CASTED_CHECK(pos_ + 4 <= text_.size()) << "short \\u escape";
+            pos_ += 4;  // validated for shape only; value not needed here
+            out += '?';
+            break;
+          }
+          default:
+            CASTED_UNREACHABLE("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        return v;
+      }
+      CASTED_CHECK(c == ',') << "expected ',' in array at offset " << pos_;
+    }
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipSpace();
+      const std::string key = parseString();
+      expect(':');
+      v.fields[key] = parseValue();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        return v;
+      }
+      CASTED_CHECK(c == ',') << "expected ',' in object at offset " << pos_;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// Fresh, path-less in-memory session per test; always left clean.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("CASTED_TRACE");
+    trace::resetForTest();
+  }
+  void TearDown() override {
+    ::unsetenv("CASTED_TRACE");
+    trace::resetForTest();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndCountersAreNoOps) {
+  EXPECT_FALSE(trace::enabled());
+  trace::counterAdd("never", 5);
+  trace::instant("never");
+  { const trace::Scope scope("never"); }
+  EXPECT_EQ(trace::counterValue("never"), 0);
+  EXPECT_TRUE(trace::counterSnapshot().empty());
+}
+
+TEST_F(TraceTest, DisabledModeWritesNoFile) {
+  const std::string path = ::testing::TempDir() + "casted_trace_disabled.json";
+  std::remove(path.c_str());
+  EXPECT_FALSE(trace::writeReport());
+  EXPECT_FALSE(trace::writeReportTo(path));
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good()) << "disabled session must not create " << path;
+}
+
+TEST_F(TraceTest, CountersAccumulateAndMerge) {
+  trace::enable("");
+  ASSERT_TRUE(trace::enabled());
+  trace::counterAdd("a", 2);
+  trace::counterAdd("a", 3);
+  trace::counterAdd("b");
+  trace::counterAdd("c", -4);  // negative deltas are legal (insn deltas)
+  EXPECT_EQ(trace::counterValue("a"), 5);
+  EXPECT_EQ(trace::counterValue("b"), 1);
+  EXPECT_EQ(trace::counterValue("c"), -4);
+  EXPECT_EQ(trace::counterValue("untouched"), 0);
+  const auto snapshot = trace::counterSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "a");  // sorted by name
+  EXPECT_EQ(snapshot[0].second, 5);
+}
+
+TEST_F(TraceTest, CountersMergeAcrossWorkerPoolThreads) {
+  // Each of 4 pool workers bumps the same counter from its own
+  // thread-local buffer; the merged value must be the exact sum, and the
+  // per-worker counters must each carry their own contribution.
+  trace::enable("");
+  fault::detail::runWorkerPool(4, [](std::uint32_t w) {
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      trace::counterAdd("pool.shared");
+    }
+    trace::counterAdd("pool.worker" + std::to_string(w), w + 1);
+  });
+  EXPECT_EQ(trace::counterValue("pool.shared"), 400);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(trace::counterValue("pool.worker" + std::to_string(w)),
+              static_cast<std::int64_t>(w + 1));
+  }
+}
+
+TEST_F(TraceTest, ReportIsValidChromeTraceJson) {
+  trace::enable("");
+  {
+    const trace::Scope outer("outer");
+    const trace::Scope inner("inner");
+    trace::instant("marker");
+  }
+  trace::counterAdd("events.count", 3);
+  trace::setMetadata("threads", "4");
+  trace::setMetadata("engine", "decoded");
+  trace::setMetadata("injection_mode", "checkpointed");
+
+  const std::string json = trace::reportJson();
+  const JsonValue root = JsonReader(json).parse();
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+
+  // traceEvents: every record is a complete ("X", with dur) or instant
+  // ("i") event carrying name/ts/pid/tid.
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events->items.size(), 3u);
+  bool sawOuter = false;
+  bool sawMarker = false;
+  for (const JsonValue& event : events->items) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    const JsonValue* name = event.find("name");
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    EXPECT_NE(event.find("ts"), nullptr);
+    EXPECT_NE(event.find("pid"), nullptr);
+    EXPECT_NE(event.find("tid"), nullptr);
+    if (ph->text == "X") {
+      EXPECT_NE(event.find("dur"), nullptr) << name->text;
+    } else {
+      EXPECT_EQ(ph->text, "i") << name->text;
+    }
+    sawOuter = sawOuter || (name->text == "outer" && ph->text == "X");
+    sawMarker = sawMarker || (name->text == "marker" && ph->text == "i");
+  }
+  EXPECT_TRUE(sawOuter);
+  EXPECT_TRUE(sawMarker);
+
+  // counters: the flat summary carries the merged values.
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->kind, JsonValue::Kind::kObject);
+  const JsonValue* count = counters->find("events.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number, 3.0);
+
+  // metadata: caller keys plus the automatic git_describe.
+  const JsonValue* metadata = root.find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  const JsonValue* threads = metadata->find("threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_EQ(threads->text, "4");
+  EXPECT_NE(metadata->find("engine"), nullptr);
+  EXPECT_NE(metadata->find("injection_mode"), nullptr);
+  EXPECT_NE(metadata->find("git_describe"), nullptr);
+}
+
+TEST_F(TraceTest, WriteReportEmitsParsableFile) {
+  const std::string path = ::testing::TempDir() + "casted_trace_out.json";
+  std::remove(path.c_str());
+  trace::enable(path);
+  { const trace::Scope scope("write.scope"); }
+  trace::counterAdd("write.counter", 7);
+  ASSERT_TRUE(trace::writeReport());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue root = JsonReader(buffer.str()).parse();
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* counter = counters->find("write.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->number, 7.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, EnvOverrideActivatesLazily) {
+  // CASTED_TRACE resolves on the first enabled() query after reset — the
+  // library path used by binaries that never call trace::enable().
+  const std::string path = ::testing::TempDir() + "casted_trace_env.json";
+  ::setenv("CASTED_TRACE", path.c_str(), 1);
+  trace::resetForTest();
+  EXPECT_TRUE(trace::enabled());
+  EXPECT_EQ(trace::outputPath(), path);
+
+  // And CASTED_TRACE unset resolves to inactive.
+  ::unsetenv("CASTED_TRACE");
+  trace::resetForTest();
+  EXPECT_FALSE(trace::enabled());
+}
+
+TEST_F(TraceTest, DisableKeepsCollectedDataUntilReset) {
+  trace::enable("");
+  trace::counterAdd("kept", 9);
+  trace::disable();
+  EXPECT_FALSE(trace::enabled());
+  trace::counterAdd("kept", 100);  // no-op while inactive
+  EXPECT_EQ(trace::counterValue("kept"), 9);
+  trace::resetForTest();
+  EXPECT_EQ(trace::counterValue("kept"), 0);
+}
+
+}  // namespace
+}  // namespace casted
